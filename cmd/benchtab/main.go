@@ -1,0 +1,86 @@
+// benchtab regenerates the paper's evaluation artifacts: Table 1
+// (co-simulation wall-clock time per scheme), Figure 7 (% packets
+// forwarded vs inter-packet delay), and the §5 code-size comparison.
+//
+// Usage:
+//
+//	benchtab -exp table1|figure7|loc|all [-full] [-transport tcp|pipe]
+//
+// -full uses the paper-scale simulated durations (slow); the default
+// uses scaled-down durations with identical workload structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosim/internal/core"
+	"cosim/internal/harness"
+	"cosim/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, figure7, loc, all")
+	full := flag.Bool("full", false, "paper-scale simulated durations (slow)")
+	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
+	delay := flag.String("delay", "20us", "inter-packet delay for Table 1")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	tr := core.TransportTCP
+	if *transport == "pipe" {
+		tr = core.TransportPipe
+	}
+	d, err := sim.ParseTime(*delay)
+	if err != nil {
+		fatal(err)
+	}
+	base := harness.Params{Transport: tr, Delay: d, Seed: *seed}
+
+	simTimes := []sim.Time{2 * sim.MS, 10 * sim.MS, 50 * sim.MS}
+	if *full {
+		// The paper's Table 1 columns: 1000, 10000, 100000 ms simulated.
+		simTimes = []sim.Time{1000 * sim.MS, 10000 * sim.MS, 100000 * sim.MS}
+	}
+
+	switch *exp {
+	case "table1":
+		runTable1(simTimes, base)
+	case "figure7":
+		runFigure7(base)
+	case "loc":
+		harness.PrintLoC(os.Stdout, harness.CountLoC())
+	case "all":
+		runTable1(simTimes, base)
+		fmt.Println()
+		runFigure7(base)
+		fmt.Println()
+		harness.PrintLoC(os.Stdout, harness.CountLoC())
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func runTable1(simTimes []sim.Time, base harness.Params) {
+	rows, err := harness.Table1(simTimes, base)
+	if err != nil {
+		fatal(err)
+	}
+	harness.PrintTable1(os.Stdout, simTimes, rows)
+}
+
+func runFigure7(base harness.Params) {
+	delays := []sim.Time{5 * sim.US, 10 * sim.US, 20 * sim.US, 30 * sim.US, 50 * sim.US, 100 * sim.US}
+	base.SimTime = 2 * sim.MS
+	points, err := harness.Figure7(delays, base)
+	if err != nil {
+		fatal(err)
+	}
+	harness.PrintFigure7(os.Stdout, points)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

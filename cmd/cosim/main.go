@@ -1,0 +1,109 @@
+// cosim runs the paper's router case study under a chosen co-simulation
+// scheme and prints the run's measurements.
+//
+// Usage:
+//
+//	cosim -scheme gdb-wrapper|gdb-kernel|driver-kernel [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosim/internal/core"
+	"cosim/internal/harness"
+	"cosim/internal/sim"
+)
+
+func main() {
+	scheme := flag.String("scheme", "gdb-kernel", "co-simulation scheme: gdb-wrapper, gdb-kernel, driver-kernel")
+	simTime := flag.String("time", "10ms", "simulated duration")
+	delay := flag.String("delay", "20us", "inter-packet delay per source")
+	payload := flag.Int("payload", 4, "payload words per packet")
+	errRate := flag.Float64("errors", 0.0, "corrupted-packet injection rate [0,1]")
+	mcast := flag.Float64("multicast", 0.0, "broadcast packet rate [0,1]")
+	fifo := flag.Int("fifo", 8, "router FIFO depth")
+	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (GDB-Kernel only)")
+	vcd := flag.String("vcd", "", "write a VCD trace of queue occupancy to this file")
+	journal := flag.String("journal", "", "write a CSV journal of every co-simulation transfer to this file")
+	flag.Parse()
+
+	s, err := harness.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := sim.ParseTime(*simTime)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := sim.ParseTime(*delay)
+	if err != nil {
+		fatal(err)
+	}
+	tr := core.TransportTCP
+	if *transport == "pipe" {
+		tr = core.TransportPipe
+	}
+
+	p := harness.Params{
+		Scheme:        s,
+		Transport:     tr,
+		SimTime:       st,
+		Delay:         d,
+		PayloadWords:  *payload,
+		ErrorRate:     *errRate,
+		MulticastRate: *mcast,
+		FifoDepth:     *fifo,
+		Seed:          *seed,
+		CPUs:          *cpus,
+	}
+	if *vcd != "" {
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		p.Trace = f
+	}
+	var jl *core.Journal
+	if *journal != "" {
+		jl = core.NewJournal(0)
+		p.Journal = jl
+	}
+
+	res, err := harness.Run(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scheme:            %v\n", s)
+	fmt.Printf("simulated time:    %v\n", res.Simulated)
+	fmt.Printf("wall-clock time:   %v\n", res.Wall)
+	fmt.Printf("packets generated: %d (corrupt injected: %d)\n", res.Generated, res.BadSent)
+	fmt.Printf("packets forwarded: %d (%.1f%%), %d output copies\n", res.Forwarded, res.ForwardedPct(), res.Copies)
+	fmt.Printf("packets received:  %d (bad content: %d, misrouted: %d)\n", res.Received, res.BadContent, res.Misrouted)
+	fmt.Printf("dropped at input:  %d   dropped at output: %d   corrupted: %d\n", res.InDrops, res.OutDrops, res.Corrupted)
+	fmt.Printf("mean latency:      %v\n", res.MeanLat)
+	fmt.Printf("guest instrs:      %d (cycles %d)\n", res.GuestInstructions, res.GuestCycles)
+	fmt.Printf("co-sim activity:   %+v\n", res.CoStats)
+
+	if jl != nil {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := jl.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("journal:           %d transfers -> %s\n", jl.Len(), *journal)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosim:", err)
+	os.Exit(1)
+}

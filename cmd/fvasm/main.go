@@ -1,0 +1,99 @@
+// fvasm assembles FV32 source files into a flat binary plus listing.
+//
+// Usage:
+//
+//	fvasm [-o out.bin] [-list] [-symbols] file.s [file2.s ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cosim/internal/asm"
+	"cosim/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output file for a flat binary (first segment base = lowest address)")
+	list := flag.Bool("list", false, "print a disassembly listing")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	textBase := flag.Uint("text", 0, "text base address")
+	dataBase := flag.Uint("data", 0x00100000, "data base address")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "fvasm: no input files")
+		os.Exit(2)
+	}
+	var sources []asm.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, asm.Source{Name: name, Text: string(text)})
+	}
+	im, err := asm.Assemble(asm.Options{
+		TextBase: uint32(*textBase),
+		DataBase: uint32(*dataBase),
+	}, sources...)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("entry %#08x, %d bytes in %d segment(s)\n", im.Entry, im.TotalBytes(), len(im.Segments))
+
+	if *symbols {
+		names := make([]string, 0, len(im.Symbols))
+		for n := range im.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return im.Symbols[names[i]] < im.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x  %s\n", im.Symbols[n], n)
+		}
+	}
+
+	if *list {
+		for _, seg := range im.Segments {
+			for off := 0; off+4 <= len(seg.Data); off += 4 {
+				addr := seg.Addr + uint32(off)
+				w := uint32(seg.Data[off]) | uint32(seg.Data[off+1])<<8 |
+					uint32(seg.Data[off+2])<<16 | uint32(seg.Data[off+3])<<24
+				src := ""
+				if f, l, ok := im.LineOfAddr(addr); ok {
+					src = fmt.Sprintf("%s:%d", f, l)
+				}
+				fmt.Printf("%08x  %08x  %-30s %s\n", addr, w, isa.Disassemble(w), src)
+			}
+		}
+	}
+
+	if *out != "" {
+		if len(im.Segments) == 0 {
+			fatal(fmt.Errorf("nothing to write"))
+		}
+		base := im.Segments[0].Addr
+		end := base
+		for _, s := range im.Segments {
+			if s.Addr+uint32(len(s.Data)) > end {
+				end = s.Addr + uint32(len(s.Data))
+			}
+		}
+		flat := make([]byte, end-base)
+		for _, s := range im.Segments {
+			copy(flat[s.Addr-base:], s.Data)
+		}
+		if err := os.WriteFile(*out, flat, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes at base %#x)\n", *out, len(flat), base)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvasm:", err)
+	os.Exit(1)
+}

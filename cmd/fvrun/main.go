@@ -1,0 +1,111 @@
+// fvrun assembles and executes a bare-metal FV32 program on the ISS,
+// with the standard platform devices mapped (console output goes to
+// stdout). An optional GDB stub can be served on a TCP port.
+//
+// Usage:
+//
+//	fvrun [-max N] [-gdb :port] [-rtos] prog.s [more.s ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"cosim/internal/asm"
+	"cosim/internal/dev"
+	"cosim/internal/gdb"
+	"cosim/internal/iss"
+	"cosim/internal/rtos"
+)
+
+func main() {
+	maxInstr := flag.Uint64("max", 100_000_000, "instruction budget")
+	gdbAddr := flag.String("gdb", "", "serve a GDB stub on this TCP address instead of running")
+	useRTOS := flag.Bool("rtos", false, "link the uKOS kernel and co-simulation driver")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	profTop := flag.Int("profile", 0, "print the N hottest instructions after the run")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "fvrun: no input files")
+		os.Exit(2)
+	}
+	var sources []asm.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, asm.Source{Name: name, Text: string(text)})
+	}
+
+	var im *asm.Image
+	var err error
+	if *useRTOS {
+		im, err = rtos.Build(sources...)
+	} else {
+		im, err = asm.Assemble(asm.Options{DataBase: 0x00100000}, sources...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	plat := dev.NewPlatform(0, os.Stdout)
+	if err := im.LoadInto(plat.RAM); err != nil {
+		fatal(err)
+	}
+	plat.CPU.Reset(im.Entry)
+
+	if *gdbAddr != "" {
+		ln, err := net.Listen("tcp", *gdbAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvrun: waiting for debugger on %s\n", ln.Addr())
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		stub := gdb.NewStub(plat.CPU, conn)
+		if err := stub.Serve(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var prof *iss.Profile
+	if *profTop > 0 {
+		prof = iss.NewProfile()
+		plat.CPU.AttachProfile(prof)
+	}
+
+	stop, executed := plat.Run(*maxInstr)
+	switch stop {
+	case iss.StopHalt:
+		// clean exit
+	case iss.StopBudget:
+		fmt.Fprintf(os.Stderr, "fvrun: instruction budget exhausted (%d)\n", executed)
+	default:
+		fmt.Fprintf(os.Stderr, "fvrun: stopped: %v at pc=%#08x\n", stop, plat.CPU.PC)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "instructions: %d\ncycles:       %d\n",
+			plat.CPU.Instructions(), plat.CPU.Cycles())
+	}
+	if prof != nil {
+		prof.Report(os.Stderr, *profTop, func(pc uint32) string {
+			if f, l, ok := im.LineOfAddr(pc); ok {
+				return fmt.Sprintf("%s:%d", f, l)
+			}
+			return ""
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvrun:", err)
+	os.Exit(1)
+}

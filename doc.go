@@ -1,0 +1,17 @@
+// Package cosim is a reproduction of "Native ISS-SystemC Integration
+// for the Co-Simulation of Multi-Processor SoC" (Fummi, Martini,
+// Perbellini, Poncino — DATE 2004), built entirely in Go.
+//
+// The repository contains a SystemC-like discrete-event simulation
+// kernel (internal/sim), a complete FV32 RISC instruction-set simulator
+// with assembler and GDB remote-serial-protocol stub (internal/isa,
+// internal/asm, internal/iss, internal/gdb), the μKOS RTOS with a
+// co-simulation device driver (internal/rtos, internal/dev), and the
+// paper's three co-simulation schemes (internal/core): the GDB-Wrapper
+// baseline, GDB-Kernel, and Driver-Kernel. The router case study of §5
+// lives in internal/router and the experiment harness reproducing
+// Table 1 and Figure 7 in internal/harness.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results.
+package cosim

@@ -1,0 +1,65 @@
+// Router: the paper's §5 case study, assembled from its building blocks
+// rather than through the harness — a 4x4 packet router whose per-packet
+// checksum is verified by software on the ISS.
+//
+// Run with: go run ./examples/router [-scheme gdb-kernel|gdb-wrapper|driver-kernel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cosim/internal/core"
+	"cosim/internal/harness"
+	"cosim/internal/sim"
+)
+
+func main() {
+	scheme := flag.String("scheme", "gdb-kernel", "co-simulation scheme")
+	delay := flag.String("delay", "20us", "inter-packet delay")
+	errors := flag.Float64("errors", 0.05, "corrupted packet injection rate")
+	flag.Parse()
+
+	s, err := harness.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := sim.ParseTime(*delay)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("router case study, %v scheme, %v inter-packet delay, %.0f%% corrupt traffic\n",
+		s, d, *errors*100)
+
+	res, err := harness.Run(harness.Params{
+		Scheme:    s,
+		Transport: core.TransportTCP,
+		SimTime:   5 * sim.MS,
+		Delay:     d,
+		ErrorRate: *errors,
+		Seed:      2026,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsimulated %v in %v of wall time\n", res.Simulated, res.Wall)
+	fmt.Printf("  generated: %4d packets (%d deliberately corrupted)\n", res.Generated, res.BadSent)
+	fmt.Printf("  forwarded: %4d (%.1f%%)\n", res.Forwarded, res.ForwardedPct())
+	fmt.Printf("  corrupted packets caught by the CPU checksum: %d\n", res.Corrupted)
+	fmt.Printf("  dropped at full input queues: %d\n", res.InDrops)
+	fmt.Printf("  consumer verified %d packets end-to-end (%d bad, %d misrouted)\n",
+		res.Received, res.BadContent, res.Misrouted)
+	fmt.Printf("  mean ingress->egress latency: %v\n", res.MeanLat)
+	fmt.Printf("  guest software executed %d instructions\n", res.GuestInstructions)
+
+	if res.BadContent != 0 || res.Misrouted != 0 {
+		log.Fatal("integrity check failed")
+	}
+	if res.Corrupted == 0 && res.BadSent > 0 {
+		log.Fatal("corrupted packets slipped through the checksum")
+	}
+	fmt.Println("\nintegrity OK: every forwarded packet was valid and correctly routed")
+}

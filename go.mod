@@ -1,0 +1,3 @@
+module cosim
+
+go 1.22

@@ -1,0 +1,496 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cosim/internal/isa"
+)
+
+// Source is one assembly input file.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Options controls assembly.
+type Options struct {
+	TextBase    uint32 // default 0x0
+	DataBase    uint32 // default 0x00100000
+	EntrySymbol string // default "_start", falling back to TextBase
+}
+
+const (
+	secText = iota
+	secData
+	numSections
+)
+
+// stmtKind classifies a parsed statement.
+type stmtKind uint8
+
+const (
+	kInstr stmtKind = iota
+	kData           // .word/.half/.byte
+	kAsciz
+	kSpace
+)
+
+type stmt struct {
+	file     string
+	line     int
+	kind     stmtKind
+	mnemonic string
+	operands []string
+	exprs    []string // data directive element expressions
+	str      string   // .asciz payload
+	elem     int      // data element size
+	addr     uint32
+	size     uint32
+}
+
+// asmError decorates an error with its source position.
+type asmError struct {
+	file string
+	line int
+	err  error
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("%s:%d: %v", e.file, e.line, e.err) }
+func (e *asmError) Unwrap() error { return e.err }
+
+type assembler struct {
+	opts    Options
+	symbols map[string]int64
+	stmts   []*stmt
+	lc      [numSections]uint32 // location counters
+	cur     int                 // current section
+	chunks  []chunk
+	lines   []Line
+}
+
+type chunk struct {
+	addr uint32
+	data []byte
+}
+
+// Assemble runs the two-pass assembler over the sources in order.
+func Assemble(opts Options, sources ...Source) (*Image, error) {
+	if opts.DataBase == 0 {
+		opts.DataBase = 0x00100000
+	}
+	a := &assembler{
+		opts:    opts,
+		symbols: make(map[string]int64),
+	}
+	a.lc[secText] = opts.TextBase
+	a.lc[secData] = opts.DataBase
+
+	for _, src := range sources {
+		if err := a.pass1(src); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return a.image()
+}
+
+// errf wraps an error with position info.
+func errf(file string, line int, format string, args ...any) error {
+	return &asmError{file, line, fmt.Errorf(format, args...)}
+}
+
+// stripComment removes ;, # and // comments, respecting string and
+// character literals.
+func stripComment(s string) string {
+	inStr, inChar := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == ';' || c == '#':
+			return s[:i]
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// lookup resolves a symbol for expression evaluation.
+func (a *assembler) lookup(name string) (int64, bool) {
+	v, ok := a.symbols[name]
+	return v, ok
+}
+
+func (a *assembler) eval(file string, line int, expr string) (int64, error) {
+	v, err := evalExpr(strings.TrimSpace(expr), int64(a.lc[a.cur]), a.lookup)
+	if err != nil {
+		return 0, errf(file, line, "%v", err)
+	}
+	return v, nil
+}
+
+// pass1 expands macros, then parses, sizes and places statements and
+// defines labels. Each source starts in the text section.
+func (a *assembler) pass1(src Source) error {
+	a.cur = secText
+	expanded, err := expandMacros(src)
+	if err != nil {
+		return err
+	}
+	for _, el := range expanded {
+		line := el.line
+		text := el.text
+
+		// Labels (possibly several on one line).
+		for {
+			i := strings.IndexByte(text, ':')
+			if i < 0 {
+				break
+			}
+			cand := strings.TrimSpace(text[:i])
+			if cand == "" || !isLabelName(cand) {
+				break
+			}
+			if _, dup := a.symbols[cand]; dup {
+				return errf(src.Name, line, "duplicate symbol %q", cand)
+			}
+			a.symbols[cand] = int64(a.lc[a.cur])
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+
+		if strings.HasPrefix(text, ".") {
+			if err := a.directive(src.Name, line, text); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Instruction.
+		mnemonic, rest := splitMnemonic(text)
+		size, err := instrSize(mnemonic)
+		if err != nil {
+			return errf(src.Name, line, "%v", err)
+		}
+		s := &stmt{
+			file: src.Name, line: line, kind: kInstr,
+			mnemonic: mnemonic, operands: splitOperands(rest),
+			addr: a.lc[a.cur], size: size,
+		}
+		a.stmts = append(a.stmts, s)
+		a.lc[a.cur] += size
+	}
+	return nil
+}
+
+// directive handles assembler directives during pass 1.
+func (a *assembler) directive(file string, line int, text string) error {
+	name, rest := splitMnemonic(text)
+	switch name {
+	case ".text":
+		a.cur = secText
+	case ".data":
+		a.cur = secData
+	case ".global", ".globl", ".extern":
+		// Accepted for compatibility; all symbols are global.
+	case ".org":
+		v, err := a.eval(file, line, rest)
+		if err != nil {
+			return err
+		}
+		a.lc[a.cur] = uint32(v)
+	case ".align":
+		v, err := a.eval(file, line, rest)
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return errf(file, line, ".align argument must be a power of two, got %d", v)
+		}
+		n := uint32(v)
+		pad := (n - a.lc[a.cur]%n) % n
+		if pad > 0 {
+			a.stmts = append(a.stmts, &stmt{
+				file: file, line: line, kind: kSpace,
+				addr: a.lc[a.cur], size: pad,
+			})
+			a.lc[a.cur] += pad
+		}
+	case ".equ", ".set":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return errf(file, line, "%s needs name, value", name)
+		}
+		sym := strings.TrimSpace(parts[0])
+		if !isLabelName(sym) {
+			return errf(file, line, "bad symbol name %q", sym)
+		}
+		if _, dup := a.symbols[sym]; dup {
+			return errf(file, line, "duplicate symbol %q", sym)
+		}
+		v, err := a.eval(file, line, parts[1])
+		if err != nil {
+			return err
+		}
+		a.symbols[sym] = v
+	case ".word", ".half", ".byte":
+		elem := map[string]int{".word": 4, ".half": 2, ".byte": 1}[name]
+		exprs := splitOperands(rest)
+		if len(exprs) == 0 {
+			return errf(file, line, "%s needs at least one value", name)
+		}
+		s := &stmt{
+			file: file, line: line, kind: kData,
+			exprs: exprs, elem: elem,
+			addr: a.lc[a.cur], size: uint32(elem * len(exprs)),
+		}
+		a.stmts = append(a.stmts, s)
+		a.lc[a.cur] += s.size
+	case ".asciz", ".ascii":
+		str, err := parseStringLit(rest)
+		if err != nil {
+			return errf(file, line, "%v", err)
+		}
+		size := uint32(len(str))
+		if name == ".asciz" {
+			size++
+		}
+		s := &stmt{
+			file: file, line: line, kind: kAsciz,
+			str: str, addr: a.lc[a.cur], size: size,
+		}
+		a.stmts = append(a.stmts, s)
+		a.lc[a.cur] += size
+	case ".space", ".skip":
+		v, err := a.eval(file, line, rest)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return errf(file, line, ".space size must be >= 0")
+		}
+		s := &stmt{file: file, line: line, kind: kSpace, addr: a.lc[a.cur], size: uint32(v)}
+		a.stmts = append(a.stmts, s)
+		a.lc[a.cur] += s.size
+	default:
+		return errf(file, line, "unknown directive %s", name)
+	}
+	return nil
+}
+
+// pass2 encodes statements into chunks and builds the line table.
+func (a *assembler) pass2() error {
+	for _, s := range a.stmts {
+		var data []byte
+		switch s.kind {
+		case kInstr:
+			words, err := a.encodeInstr(s)
+			if err != nil {
+				return err
+			}
+			data = make([]byte, 0, 4*len(words))
+			for _, w := range words {
+				data = append(data, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+			}
+			a.lines = append(a.lines, Line{Addr: s.addr, File: s.file, Line: s.line})
+		case kData:
+			for idx, ex := range s.exprs {
+				here := int64(s.addr) + int64(idx*s.elem)
+				v, err := evalExpr(strings.TrimSpace(ex), here, a.lookup)
+				if err != nil {
+					return errf(s.file, s.line, "%v", err)
+				}
+				for i := 0; i < s.elem; i++ {
+					data = append(data, byte(v>>(8*i)))
+				}
+			}
+		case kAsciz:
+			data = make([]byte, s.size)
+			copy(data, s.str)
+		case kSpace:
+			data = make([]byte, s.size)
+		}
+		if len(data) > 0 {
+			a.chunks = append(a.chunks, chunk{s.addr, data})
+		}
+	}
+	return nil
+}
+
+// image merges chunks into segments and finalizes the output.
+func (a *assembler) image() (*Image, error) {
+	sort.SliceStable(a.chunks, func(i, j int) bool { return a.chunks[i].addr < a.chunks[j].addr })
+	im := &Image{Symbols: make(map[string]uint32, len(a.symbols))}
+	for _, c := range a.chunks {
+		n := len(im.Segments)
+		if n > 0 {
+			last := &im.Segments[n-1]
+			end := last.Addr + uint32(len(last.Data))
+			if c.addr < end {
+				return nil, fmt.Errorf("asm: overlapping output at %#08x", c.addr)
+			}
+			if c.addr == end {
+				last.Data = append(last.Data, c.data...)
+				continue
+			}
+		}
+		im.Segments = append(im.Segments, Segment{Addr: c.addr, Data: append([]byte(nil), c.data...)})
+	}
+	for name, v := range a.symbols {
+		im.Symbols[name] = uint32(v)
+	}
+	sort.Slice(a.lines, func(i, j int) bool { return a.lines[i].Addr < a.lines[j].Addr })
+	im.Lines = a.lines
+
+	entrySym := a.opts.EntrySymbol
+	if entrySym == "" {
+		entrySym = "_start"
+	}
+	if v, ok := im.Symbols[entrySym]; ok {
+		im.Entry = v
+	} else {
+		im.Entry = a.opts.TextBase
+	}
+	return im, nil
+}
+
+// --- small lexical helpers -------------------------------------------------
+
+func splitMnemonic(s string) (mnemonic, rest string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return strings.ToLower(s), ""
+	}
+	return strings.ToLower(s[:i]), strings.TrimSpace(s[i+1:])
+}
+
+// splitOperands splits on top-level commas, respecting parentheses and
+// quotes.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func isLabelName(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseStringLit parses a double-quoted string with escapes.
+func parseStringLit(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in string")
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("bad escape \\%c in string", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// instrSize returns the byte size of a (possibly pseudo) instruction.
+func instrSize(mnemonic string) (uint32, error) {
+	switch mnemonic {
+	case "li", "la":
+		return 8, nil // always lui+ori, so label arithmetic stays linear
+	case "ei", "di":
+		return 12, nil // mfsr/ori|andi/mtsr read-modify-write sequence
+	}
+	if _, ok := pseudoOps[mnemonic]; ok {
+		return 4, nil
+	}
+	if isa.OpcodeByName(mnemonic) != isa.BAD {
+		return 4, nil
+	}
+	return 0, fmt.Errorf("unknown instruction %q", mnemonic)
+}
+
+// pseudoOps is the set of single-word pseudo-instructions.
+var pseudoOps = map[string]bool{
+	"nop": true, "mv": true, "not": true, "neg": true,
+	"j": true, "jr": true, "call": true, "ret": true,
+	"beqz": true, "bnez": true, "bgt": true, "ble": true,
+	"ei": true, "di": true,
+}

@@ -1,0 +1,462 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cosim/internal/isa"
+)
+
+// assemble is a test helper for single-source assembly.
+func assemble(t *testing.T, src string) *Image {
+	t.Helper()
+	im, err := Assemble(Options{}, Source{Name: "test.s", Text: src})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return im
+}
+
+// word extracts the nth 32-bit word of the first segment.
+func word(t *testing.T, im *Image, n int) uint32 {
+	t.Helper()
+	if len(im.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	d := im.Segments[0].Data
+	if len(d) < 4*(n+1) {
+		t.Fatalf("segment too small: %d bytes, want word %d", len(d), n)
+	}
+	return uint32(d[4*n]) | uint32(d[4*n+1])<<8 | uint32(d[4*n+2])<<16 | uint32(d[4*n+3])<<24
+}
+
+func TestEvalExpr(t *testing.T) {
+	syms := map[string]int64{"foo": 100, "bar": 0x1234}
+	lookup := func(n string) (int64, bool) { v, ok := syms[n]; return v, ok }
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"42", 42},
+		{"0x10", 16},
+		{"0b101", 5},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"-5", -5},
+		{"~0", -1},
+		{"1<<16", 65536},
+		{"0xff00>>8", 0xff},
+		{"foo+4", 104},
+		{"bar&0xff", 0x34},
+		{"bar|1", 0x1235},
+		{"bar^bar", 0},
+		{"10/3", 3},
+		{"10%3", 1},
+		{"%hi(0x12345678)", 0x1234},
+		{"%lo(0x12345678)", 0x5678},
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{"foo - 1", 99},
+	}
+	for _, c := range cases {
+		got, err := evalExpr(c.in, 0, lookup)
+		if err != nil {
+			t.Errorf("evalExpr(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("evalExpr(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalExprErrors(t *testing.T) {
+	lookup := func(string) (int64, bool) { return 0, false }
+	for _, s := range []string{"", "1+", "(1", "undefined_sym", "1/0", "5%0", "%xx(1)", "'a"} {
+		if _, err := evalExpr(s, 0, lookup); err == nil {
+			t.Errorf("evalExpr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBasicProgram(t *testing.T) {
+	im := assemble(t, `
+_start:
+    addi a0, zero, 5
+    addi a1, zero, 7
+    add  a2, a0, a1
+    halt
+`)
+	if im.Entry != 0 {
+		t.Fatalf("entry = %#x", im.Entry)
+	}
+	w := word(t, im, 0)
+	i, err := isa.Decode(w)
+	if err != nil || i.Op != isa.ADDI || i.Imm != 5 {
+		t.Fatalf("word0 = %v (%v)", i, err)
+	}
+	if got := isa.Disassemble(word(t, im, 2)); got != "add a2, a0, a1" {
+		t.Fatalf("word2 = %q", got)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	im := assemble(t, `
+_start:
+    addi t0, zero, 10
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+`)
+	// bnez at addr 8 targets loop at 4: offset -1 word.
+	i, err := isa.Decode(word(t, im, 2))
+	if err != nil || i.Op != isa.BNE || i.Imm != -1 {
+		t.Fatalf("bnez encoded as %v (%v)", i, err)
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	im := assemble(t, `
+_start:
+    j end
+    nop
+end:
+    halt
+`)
+	i, err := isa.Decode(word(t, im, 0))
+	if err != nil || i.Op != isa.JAL || i.Rd != 0 || i.Imm != 2 {
+		t.Fatalf("j end = %v (%v)", i, err)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	im := assemble(t, `
+_start:
+    li a0, 0xdeadbeef
+    halt
+`)
+	hi, err := isa.Decode(word(t, im, 0))
+	if err != nil || hi.Op != isa.LUI || uint32(hi.Imm) != 0xdead {
+		t.Fatalf("li hi = %v", hi)
+	}
+	lo, err := isa.Decode(word(t, im, 1))
+	if err != nil || lo.Op != isa.ORI || uint32(lo.Imm) != 0xbeef {
+		t.Fatalf("li lo = %v", lo)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	im, err := Assemble(Options{DataBase: 0x1000},
+		Source{Name: "d.s", Text: `
+.data
+vals:  .word 1, 2, 0x30
+half:  .half 0xabcd
+bytes: .byte 1, 2, 3
+msg:   .asciz "hi\n"
+buf:   .space 8
+end_marker:
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.MustSymbol("vals"); got != 0x1000 {
+		t.Fatalf("vals = %#x", got)
+	}
+	if got := im.MustSymbol("half"); got != 0x100c {
+		t.Fatalf("half = %#x", got)
+	}
+	if got := im.MustSymbol("msg"); got != 0x1011 {
+		t.Fatalf("msg = %#x", got)
+	}
+	if got := im.MustSymbol("buf"); got != 0x1015 {
+		t.Fatalf("buf = %#x", got)
+	}
+	if got := im.MustSymbol("end_marker"); got != 0x101d {
+		t.Fatalf("end = %#x", got)
+	}
+	seg := im.Segments[0]
+	if seg.Data[0] != 1 || seg.Data[4] != 2 || seg.Data[8] != 0x30 {
+		t.Fatalf("words = % x", seg.Data[:12])
+	}
+	if seg.Data[12] != 0xcd || seg.Data[13] != 0xab {
+		t.Fatalf("half = % x", seg.Data[12:14])
+	}
+	if string(seg.Data[0x11:0x14]) != "hi\n" || seg.Data[0x14] != 0 {
+		t.Fatalf("asciz = % x", seg.Data[0x11:0x15])
+	}
+}
+
+func TestAlign(t *testing.T) {
+	im := assemble(t, `
+_start:
+    nop
+.align 16
+aligned:
+    halt
+`)
+	if got := im.MustSymbol("aligned"); got != 16 {
+		t.Fatalf("aligned = %d, want 16", got)
+	}
+}
+
+func TestEqu(t *testing.T) {
+	im := assemble(t, `
+.equ MAGIC, 0x42
+.equ DOUBLE, MAGIC*2
+_start:
+    addi a0, zero, MAGIC
+    addi a1, zero, DOUBLE
+    halt
+`)
+	i, _ := isa.Decode(word(t, im, 0))
+	if i.Imm != 0x42 {
+		t.Fatalf("MAGIC imm = %d", i.Imm)
+	}
+	i, _ = isa.Decode(word(t, im, 1))
+	if i.Imm != 0x84 {
+		t.Fatalf("DOUBLE imm = %d", i.Imm)
+	}
+}
+
+func TestOrg(t *testing.T) {
+	im := assemble(t, `
+.org 0x100
+_start:
+    halt
+`)
+	if im.Entry != 0x100 {
+		t.Fatalf("entry = %#x", im.Entry)
+	}
+	if im.Segments[0].Addr != 0x100 {
+		t.Fatalf("segment addr = %#x", im.Segments[0].Addr)
+	}
+}
+
+func TestTextAndDataSections(t *testing.T) {
+	im, err := Assemble(Options{TextBase: 0, DataBase: 0x8000}, Source{Name: "s.s", Text: `
+.text
+_start:
+    la a0, counter
+    lw a1, 0(a0)
+    halt
+.data
+counter: .word 99
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.MustSymbol("counter"); got != 0x8000 {
+		t.Fatalf("counter = %#x", got)
+	}
+	if len(im.Segments) != 2 {
+		t.Fatalf("segments = %d", len(im.Segments))
+	}
+	if im.Segments[1].Data[0] != 99 {
+		t.Fatalf("data = % x", im.Segments[1].Data)
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	src := `_start:
+    addi a0, zero, 1
+    addi a1, zero, 2
+    sw a0, 0(gp)
+    addi a2, zero, 3
+    halt
+`
+	im := assemble(t, src)
+	// Line 2 is the first instruction, at address 0.
+	if a, ok := im.AddrOfLine("test.s", 2); !ok || a != 0 {
+		t.Fatalf("AddrOfLine(2) = %#x, %v", a, ok)
+	}
+	// The sw is on line 4, at address 8.
+	if a, ok := im.AddrOfLine("test.s", 4); !ok || a != 8 {
+		t.Fatalf("AddrOfLine(4) = %#x, %v", a, ok)
+	}
+	// NextLineAddr(4) must be the addi on line 5 at address 12 —
+	// the "line that immediately follows" rule for iss_in breakpoints.
+	if a, ok := im.NextLineAddr("test.s", 4); !ok || a != 12 {
+		t.Fatalf("NextLineAddr(4) = %#x, %v", a, ok)
+	}
+	if f, l, ok := im.LineOfAddr(8); !ok || f != "test.s" || l != 4 {
+		t.Fatalf("LineOfAddr(8) = %s:%d, %v", f, l, ok)
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	im, err := Assemble(Options{},
+		Source{Name: "a.s", Text: "_start:\n    call func\n    halt\n"},
+		Source{Name: "b.s", Text: "func:\n    ret\n"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.MustSymbol("func"); got != 8 {
+		t.Fatalf("func = %d", got)
+	}
+	if a, ok := im.AddrOfLine("b.s", 2); !ok || a != 8 {
+		t.Fatalf("AddrOfLine(b.s,2) = %d, %v", a, ok)
+	}
+}
+
+func TestComments(t *testing.T) {
+	im := assemble(t, `
+; full line comment
+# another
+// and another
+_start:
+    nop          ; trailing
+    addi a0, zero, '#'  # char literal with hash
+    halt
+`)
+	i, _ := isa.Decode(word(t, im, 1))
+	if i.Imm != '#' {
+		t.Fatalf("char imm = %d", i.Imm)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	im := assemble(t, `
+_start:
+    mv a0, a1
+    not a2, a3
+    neg a4, a5
+    jr ra
+    ret
+    beqz a0, _start
+    bgt a0, a1, _start
+    ble a0, a1, _start
+`)
+	checks := []struct {
+		n    int
+		want string
+	}{
+		{0, "addi a0, a1, 0"},
+		{1, "nor a2, a3, zero"},
+		{2, "sub a4, zero, a5"},
+		{3, "jalr zero, ra, 0"},
+		{4, "jalr zero, ra, 0"},
+	}
+	for _, c := range checks {
+		if got := isa.Disassemble(word(t, im, c.n)); got != c.want {
+			t.Errorf("word %d = %q, want %q", c.n, got, c.want)
+		}
+	}
+	// bgt a0,a1 == blt a1,a0
+	i, _ := isa.Decode(word(t, im, 6))
+	if i.Op != isa.BLT || isa.RegName(i.Rd) != "a1" || isa.RegName(i.Rs1) != "a0" {
+		t.Fatalf("bgt = %v", i)
+	}
+}
+
+func TestEiDiExpansion(t *testing.T) {
+	im := assemble(t, "_start:\n    ei\n    di\n    halt\n")
+	// ei = mfsr at,0 / ori at,at,1 / mtsr 0,at
+	if got := isa.Disassemble(word(t, im, 0)); got != "mfsr at, 0" {
+		t.Fatalf("ei[0] = %q", got)
+	}
+	if got := isa.Disassemble(word(t, im, 1)); got != "ori at, at, 1" {
+		t.Fatalf("ei[1] = %q", got)
+	}
+	if got := isa.Disassemble(word(t, im, 2)); got != "mtsr 0, at" {
+		t.Fatalf("ei[2] = %q", got)
+	}
+	// di's ALU step masks out the IE bit.
+	i, _ := isa.Decode(word(t, im, 4))
+	if i.Op != isa.ANDI || uint32(i.Imm) != 0xfffe {
+		t.Fatalf("di[1] = %v", i)
+	}
+}
+
+func TestMfsrSymbolicNames(t *testing.T) {
+	im := assemble(t, `
+_start:
+    mfsr a0, epc
+    mtsr ivec, a1
+    halt
+`)
+	i, _ := isa.Decode(word(t, im, 0))
+	if i.Op != isa.MFSR || i.Imm != isa.SREPC {
+		t.Fatalf("mfsr = %v", i)
+	}
+	i, _ = isa.Decode(word(t, im, 1))
+	if i.Op != isa.MTSR || i.Imm != isa.SRIVec {
+		t.Fatalf("mtsr = %v", i)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"    bogus a0, a1\n",
+		"    addi a0\n",
+		"    addi a0, zero, 100000\n",
+		"    lw a0, nothing\n",
+		"dup:\ndup:\n    nop\n",
+		".equ x, 1\n.equ x, 2\n",
+		".word\n",
+		".align 3\n",
+		".asciz unquoted\n",
+		".badattr 1\n",
+		"    addi a0, zero, undefined_symbol\n",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(Options{}, Source{Name: "bad.s", Text: src}); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), "bad.s") {
+			t.Errorf("error %q lacks file position", err)
+		}
+	}
+}
+
+func TestRoundTripThroughDisassembler(t *testing.T) {
+	// Property: assembling the disassembly of an encodable instruction
+	// reproduces the same machine word.
+	f := func(rd, rs1, rs2 uint8, imm int16) bool {
+		insts := []isa.Inst{
+			{Op: isa.ADD, Rd: rd % 32, Rs1: rs1 % 32, Rs2: rs2 % 32},
+			{Op: isa.ADDI, Rd: rd % 32, Rs1: rs1 % 32, Imm: int32(imm)},
+			{Op: isa.LW, Rd: rd % 32, Rs1: rs1 % 32, Imm: int32(imm)},
+			{Op: isa.SW, Rd: rd % 32, Rs1: rs1 % 32, Imm: int32(imm)},
+		}
+		for _, inst := range insts {
+			w, err := isa.Encode(inst)
+			if err != nil {
+				return false
+			}
+			src := "_start:\n    " + isa.Disassemble(w) + "\n"
+			im, err := Assemble(Options{}, Source{Name: "rt.s", Text: src})
+			if err != nil {
+				return false
+			}
+			d := im.Segments[0].Data
+			got := uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+			if got != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHereSymbol(t *testing.T) {
+	im := assemble(t, `
+_start:
+    nop
+here: .word .
+`)
+	if im.Segments[0].Data[4] != 4 {
+		t.Fatalf(".word . = % x", im.Segments[0].Data[4:8])
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	im := assemble(t, "_start:\n    nop\n    nop\n")
+	if im.TotalBytes() != 8 {
+		t.Fatalf("TotalBytes = %d", im.TotalBytes())
+	}
+}

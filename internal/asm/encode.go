@@ -1,0 +1,456 @@
+package asm
+
+import (
+	"strings"
+
+	"cosim/internal/isa"
+)
+
+// srNames maps symbolic special-register names for mfsr/mtsr.
+var srNames = map[string]int32{
+	"status": isa.SRStatus, "epc": isa.SREPC, "cause": isa.SRCause,
+	"ivec": isa.SRIVec, "scratch": isa.SRScratch,
+	"cycle": isa.SRCycle, "cycleh": isa.SRCycleH,
+}
+
+// reg parses a register operand.
+func (a *assembler) reg(s *stmt, op string) (uint8, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(op))
+	if !ok {
+		return 0, errf(s.file, s.line, "bad register %q", op)
+	}
+	return r, nil
+}
+
+// imm evaluates an immediate operand.
+func (a *assembler) imm(s *stmt, op string) (int32, error) {
+	// Allow symbolic special register names where an immediate is expected.
+	if v, ok := srNames[strings.ToLower(strings.TrimSpace(op))]; ok {
+		return v, nil
+	}
+	v, err := evalExpr(strings.TrimSpace(op), int64(s.addr), a.lookup)
+	if err != nil {
+		return 0, errf(s.file, s.line, "%v", err)
+	}
+	return int32(v), nil
+}
+
+// mem parses an "offset(base)" memory operand.
+func (a *assembler) mem(s *stmt, op string) (int32, uint8, error) {
+	op = strings.TrimSpace(op)
+	open := strings.LastIndexByte(op, '(')
+	if open < 0 || !strings.HasSuffix(op, ")") {
+		return 0, 0, errf(s.file, s.line, "bad memory operand %q (want offset(reg))", op)
+	}
+	offStr := strings.TrimSpace(op[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := a.imm(s, offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := a.reg(s, op[open+1:len(op)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// branchOff computes a branch/jump word offset from an absolute target.
+func (a *assembler) branchOff(s *stmt, op string) (int32, error) {
+	target, err := a.imm(s, op)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(target) - int64(s.addr)
+	if diff%isa.Word != 0 {
+		return 0, errf(s.file, s.line, "branch target %#x not word-aligned", target)
+	}
+	return int32(diff / isa.Word), nil
+}
+
+// want checks the operand count.
+func want(s *stmt, n int) error {
+	if len(s.operands) != n {
+		return errf(s.file, s.line, "%s expects %d operands, got %d", s.mnemonic, n, len(s.operands))
+	}
+	return nil
+}
+
+// enc encodes one machine instruction, decorating errors with position.
+func (a *assembler) enc(s *stmt, i isa.Inst) (uint32, error) {
+	w, err := isa.Encode(i)
+	if err != nil {
+		return 0, errf(s.file, s.line, "%v", err)
+	}
+	return w, nil
+}
+
+// encodeInstr expands and encodes one statement into machine words.
+func (a *assembler) encodeInstr(s *stmt) ([]uint32, error) {
+	m := s.mnemonic
+
+	// Pseudo-instructions first.
+	switch m {
+	case "nop":
+		return []uint32{isa.NopWord}, nil
+
+	case "mv":
+		if err := want(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs})
+		return []uint32{w}, err
+
+	case "not":
+		if err := want(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.NOR, Rd: rd, Rs1: rs, Rs2: isa.RegZero})
+		return []uint32{w}, err
+
+	case "neg":
+		if err := want(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.SUB, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		return []uint32{w}, err
+
+	case "li", "la":
+		if err := want(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.imm(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		hi, err := a.enc(s, isa.Inst{Op: isa.LUI, Rd: rd, Imm: int32(u >> 16)})
+		if err != nil {
+			return nil, err
+		}
+		lo, err := a.enc(s, isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(u & 0xffff)})
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{hi, lo}, nil
+
+	case "j":
+		if err := want(s, 1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.JAL, Rd: isa.RegZero, Imm: off})
+		return []uint32{w}, err
+
+	case "call":
+		if err := want(s, 1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.JAL, Rd: isa.RegRA, Imm: off})
+		return []uint32{w}, err
+
+	case "jr":
+		if err := want(s, 1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.JALR, Rd: isa.RegZero, Rs1: rs})
+		return []uint32{w}, err
+
+	case "ret":
+		if err := want(s, 0); err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: isa.JALR, Rd: isa.RegZero, Rs1: isa.RegRA})
+		return []uint32{w}, err
+
+	case "beqz", "bnez":
+		if err := want(s, 2); err != nil {
+			return nil, err
+		}
+		ra, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.BEQ
+		if m == "bnez" {
+			op = isa.BNE
+		}
+		w, err := a.enc(s, isa.Inst{Op: op, Rd: ra, Rs1: isa.RegZero, Imm: off})
+		return []uint32{w}, err
+
+	case "bgt", "ble":
+		// bgt a,b,t == blt b,a,t ; ble a,b,t == bge b,a,t
+		if err := want(s, 3); err != nil {
+			return nil, err
+		}
+		ra, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(s, s.operands[2])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.BLT
+		if m == "ble" {
+			op = isa.BGE
+		}
+		w, err := a.enc(s, isa.Inst{Op: op, Rd: rb, Rs1: ra, Imm: off})
+		return []uint32{w}, err
+
+	case "ei", "di":
+		// Read-modify-write of STATUS.IE through the assembler temporary.
+		mf, err := a.enc(s, isa.Inst{Op: isa.MFSR, Rd: isa.RegAT, Imm: isa.SRStatus})
+		if err != nil {
+			return nil, err
+		}
+		var alu uint32
+		if m == "ei" {
+			alu, err = a.enc(s, isa.Inst{Op: isa.ORI, Rd: isa.RegAT, Rs1: isa.RegAT, Imm: isa.StatusIE})
+		} else {
+			alu, err = a.enc(s, isa.Inst{Op: isa.ANDI, Rd: isa.RegAT, Rs1: isa.RegAT, Imm: 0xffff &^ isa.StatusIE})
+		}
+		if err != nil {
+			return nil, err
+		}
+		mt, err := a.enc(s, isa.Inst{Op: isa.MTSR, Rs1: isa.RegAT, Imm: isa.SRStatus})
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{mf, alu, mt}, nil
+	}
+
+	// Native instructions.
+	op := isa.OpcodeByName(m)
+	if op == isa.BAD {
+		return nil, errf(s.file, s.line, "unknown instruction %q", m)
+	}
+	switch op.Format() {
+	case isa.FmtR:
+		if err := want(s, 3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(s, s.operands[2])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		return []uint32{w}, err
+
+	case isa.FmtI:
+		switch op {
+		case isa.LW, isa.LH, isa.LHU, isa.LB, isa.LBU, isa.SW, isa.SH, isa.SB:
+			if err := want(s, 2); err != nil {
+				return nil, err
+			}
+			rd, err := a.reg(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			off, base, err := a.mem(s, s.operands[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+			return []uint32{w}, err
+
+		case isa.LUI:
+			if err := want(s, 2); err != nil {
+				return nil, err
+			}
+			rd, err := a.reg(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := a.imm(s, s.operands[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Imm: v})
+			return []uint32{w}, err
+
+		case isa.JALR:
+			switch len(s.operands) {
+			case 1:
+				rs, err := a.reg(s, s.operands[0])
+				if err != nil {
+					return nil, err
+				}
+				w, err := a.enc(s, isa.Inst{Op: op, Rd: isa.RegRA, Rs1: rs})
+				return []uint32{w}, err
+			case 3:
+				rd, err := a.reg(s, s.operands[0])
+				if err != nil {
+					return nil, err
+				}
+				rs, err := a.reg(s, s.operands[1])
+				if err != nil {
+					return nil, err
+				}
+				v, err := a.imm(s, s.operands[2])
+				if err != nil {
+					return nil, err
+				}
+				w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Rs1: rs, Imm: v})
+				return []uint32{w}, err
+			default:
+				return nil, errf(s.file, s.line, "jalr expects 1 or 3 operands")
+			}
+
+		case isa.MFSR:
+			if err := want(s, 2); err != nil {
+				return nil, err
+			}
+			rd, err := a.reg(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			sr, err := a.imm(s, s.operands[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Imm: sr})
+			return []uint32{w}, err
+
+		case isa.MTSR:
+			if err := want(s, 2); err != nil {
+				return nil, err
+			}
+			sr, err := a.imm(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			rs, err := a.reg(s, s.operands[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := a.enc(s, isa.Inst{Op: op, Rs1: rs, Imm: sr})
+			return []uint32{w}, err
+
+		default: // I-type ALU
+			if err := want(s, 3); err != nil {
+				return nil, err
+			}
+			rd, err := a.reg(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := a.reg(s, s.operands[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := a.imm(s, s.operands[2])
+			if err != nil {
+				return nil, err
+			}
+			w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: v})
+			return []uint32{w}, err
+		}
+
+	case isa.FmtB:
+		if err := want(s, 3); err != nil {
+			return nil, err
+		}
+		ra, err := a.reg(s, s.operands[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := a.reg(s, s.operands[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(s, s.operands[2])
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: op, Rd: ra, Rs1: rb, Imm: off})
+		return []uint32{w}, err
+
+	case isa.FmtJ:
+		var rd uint8 = isa.RegRA
+		var target string
+		switch len(s.operands) {
+		case 1:
+			target = s.operands[0]
+		case 2:
+			r, err := a.reg(s, s.operands[0])
+			if err != nil {
+				return nil, err
+			}
+			rd, target = r, s.operands[1]
+		default:
+			return nil, errf(s.file, s.line, "jal expects 1 or 2 operands")
+		}
+		off, err := a.branchOff(s, target)
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: op, Rd: rd, Imm: off})
+		return []uint32{w}, err
+
+	case isa.FmtS:
+		if err := want(s, 0); err != nil {
+			return nil, err
+		}
+		w, err := a.enc(s, isa.Inst{Op: op})
+		return []uint32{w}, err
+	}
+	return nil, errf(s.file, s.line, "unhandled instruction %q", m)
+}

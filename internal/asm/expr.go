@@ -1,0 +1,360 @@
+// Package asm implements a two-pass assembler for the FV32 instruction
+// set. Besides machine code it produces a symbol table and a
+// source-line table mapping addresses to file:line — the information the
+// GDB-Kernel co-simulation scheme needs to set breakpoints "on the line
+// containing the variable" exactly as described in §3.2 of the paper.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprParser evaluates integer expressions over symbols. Grammar:
+//
+//	expr   := or
+//	or     := xor ('|' xor)*
+//	xor    := and ('^' and)*
+//	and    := shift ('&' shift)*
+//	shift  := add (('<<'|'>>') add)*
+//	add    := mul (('+'|'-') mul)*
+//	mul    := unary (('*'|'/'|'%') unary)*
+//	unary  := ('-'|'~')? primary
+//	primary:= number | symbol | '(' expr ')' | %hi(expr) | %lo(expr) | '.'
+type exprParser struct {
+	s      string
+	pos    int
+	lookup func(string) (int64, bool)
+	here   int64 // value of '.'
+}
+
+func evalExpr(s string, here int64, lookup func(string) (int64, bool)) (int64, error) {
+	p := &exprParser{s: s, lookup: lookup, here: here}
+	v, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return 0, fmt.Errorf("trailing junk %q in expression", p.s[p.pos:])
+	}
+	return v, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.s) {
+		return p.s[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseOr() (int64, error) {
+	v, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '|' {
+			p.pos++
+			r, err := p.parseXor()
+			if err != nil {
+				return 0, err
+			}
+			v |= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseXor() (int64, error) {
+	v, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '^' {
+			p.pos++
+			r, err := p.parseAnd()
+			if err != nil {
+				return 0, err
+			}
+			v ^= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAnd() (int64, error) {
+	v, err := p.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '&' {
+			p.pos++
+			r, err := p.parseShift()
+			if err != nil {
+				return 0, err
+			}
+			v &= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseShift() (int64, error) {
+	v, err := p.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.s[p.pos:], "<<") {
+			p.pos += 2
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v <<= uint(r & 63)
+		} else if strings.HasPrefix(p.s[p.pos:], ">>") {
+			p.pos += 2
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v >>= uint(r & 63)
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAdd() (int64, error) {
+	v, err := p.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (int64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.peek() == '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case p.peek() == '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in expression")
+			}
+			v /= r
+		case p.peek() == '%' && !p.atPercentFunc():
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in expression")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+// atPercentFunc reports whether the cursor is at %hi( or %lo(.
+func (p *exprParser) atPercentFunc() bool {
+	rest := p.s[p.pos:]
+	return strings.HasPrefix(rest, "%hi(") || strings.HasPrefix(rest, "%lo(")
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	case '~':
+		p.pos++
+		v, err := p.parseUnary()
+		return ^v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	c := p.s[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' in expression")
+		}
+		p.pos++
+		return v, nil
+
+	case c == '%':
+		rest := p.s[p.pos:]
+		var hi bool
+		switch {
+		case strings.HasPrefix(rest, "%hi("):
+			hi = true
+		case strings.HasPrefix(rest, "%lo("):
+		default:
+			return 0, fmt.Errorf("unknown %% function")
+		}
+		p.pos += 4
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' after %%hi/%%lo")
+		}
+		p.pos++
+		if hi {
+			return (v >> 16) & 0xffff, nil
+		}
+		return v & 0xffff, nil
+
+	case c == '\'':
+		// Character literal, with the usual escapes.
+		end := p.pos + 1
+		var val int64
+		if end < len(p.s) && p.s[end] == '\\' {
+			if end+1 >= len(p.s) {
+				return 0, fmt.Errorf("bad character literal")
+			}
+			switch p.s[end+1] {
+			case 'n':
+				val = '\n'
+			case 't':
+				val = '\t'
+			case 'r':
+				val = '\r'
+			case '0':
+				val = 0
+			case '\\':
+				val = '\\'
+			case '\'':
+				val = '\''
+			default:
+				return 0, fmt.Errorf("bad escape '\\%c'", p.s[end+1])
+			}
+			end += 2
+		} else if end < len(p.s) {
+			val = int64(p.s[end])
+			end++
+		}
+		if end >= len(p.s) || p.s[end] != '\'' {
+			return 0, fmt.Errorf("unterminated character literal")
+		}
+		p.pos = end + 1
+		return val, nil
+
+	case c == '.' && (p.pos+1 == len(p.s) || !isIdentChar(p.s[p.pos+1])):
+		p.pos++
+		return p.here, nil
+
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.s) && (isIdentChar(p.s[p.pos])) {
+			p.pos++
+		}
+		tok := p.s[start:p.pos]
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(tok, 0, 64)
+			if uerr != nil {
+				return 0, fmt.Errorf("bad number %q", tok)
+			}
+			v = int64(u)
+		}
+		return v, nil
+
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.s) && isIdentChar(p.s[p.pos]) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		v, ok := p.lookup(name)
+		if !ok {
+			return 0, &undefSymbolError{name}
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected character %q in expression", string(c))
+}
+
+type undefSymbolError struct{ name string }
+
+func (e *undefSymbolError) Error() string { return "undefined symbol " + e.name }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == 'x' || c == 'X'
+}

@@ -1,0 +1,163 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Macro support: GNU-as-style text macros.
+//
+//	.macro push reg
+//	    addi sp, sp, -4
+//	    sw   \reg, 0(sp)
+//	.endm
+//
+//	    push a0
+//
+// Parameters are referenced as \name inside the body; \@ expands to a
+// counter unique per expansion, for macro-local labels. Macros are
+// scoped to the source file that defines them. Expanded lines keep the
+// invocation's line number, so breakpoints-by-line land on the call
+// site.
+type macroDef struct {
+	name   string
+	params []string
+	body   []string
+	line   int
+}
+
+// expLine is one post-expansion source line with its original line
+// number (for the line table and error messages).
+type expLine struct {
+	text string
+	line int
+}
+
+const maxMacroDepth = 16
+
+// expandMacros processes .macro/.endm definitions and expands
+// invocations, returning the flattened line stream.
+func expandMacros(src Source) ([]expLine, error) {
+	macros := make(map[string]*macroDef)
+	var out []expLine
+	var expCount int
+
+	lines := strings.Split(src.Text, "\n")
+	for i := 0; i < len(lines); i++ {
+		lineNo := i + 1
+		text := strings.TrimSpace(stripComment(lines[i]))
+
+		if strings.HasPrefix(text, ".macro") {
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				return nil, errf(src.Name, lineNo, ".macro needs a name")
+			}
+			def := &macroDef{name: strings.ToLower(fields[1]), line: lineNo}
+			// Parameters may be separated by spaces and/or commas.
+			for _, p := range fields[2:] {
+				p = strings.Trim(p, ",")
+				if p == "" {
+					continue
+				}
+				if !isLabelName(p) {
+					return nil, errf(src.Name, lineNo, "bad macro parameter %q", p)
+				}
+				def.params = append(def.params, p)
+			}
+			if !isLabelName(def.name) {
+				return nil, errf(src.Name, lineNo, "bad macro name %q", def.name)
+			}
+			if _, dup := macros[def.name]; dup {
+				return nil, errf(src.Name, lineNo, "duplicate macro %q", def.name)
+			}
+			closed := false
+			for i++; i < len(lines); i++ {
+				body := strings.TrimSpace(stripComment(lines[i]))
+				if body == ".endm" {
+					closed = true
+					break
+				}
+				if strings.HasPrefix(body, ".macro") {
+					return nil, errf(src.Name, i+1, "nested .macro definitions are not supported")
+				}
+				def.body = append(def.body, body)
+			}
+			if !closed {
+				return nil, errf(src.Name, def.line, "unterminated .macro %q", def.name)
+			}
+			macros[def.name] = def
+			continue
+		}
+		if text == ".endm" {
+			return nil, errf(src.Name, lineNo, ".endm without .macro")
+		}
+
+		expanded, err := expandLine(src.Name, lineNo, text, macros, &expCount, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expanded...)
+	}
+	return out, nil
+}
+
+// expandLine expands a single line, recursing when the expansion itself
+// invokes macros.
+func expandLine(file string, lineNo int, text string, macros map[string]*macroDef, expCount *int, depth int) ([]expLine, error) {
+	if depth > maxMacroDepth {
+		return nil, errf(file, lineNo, "macro expansion too deep (recursion?)")
+	}
+	// Peel leading labels so `lbl: push a0` works.
+	prefix := ""
+	rest := text
+	for {
+		idx := strings.IndexByte(rest, ':')
+		if idx < 0 {
+			break
+		}
+		cand := strings.TrimSpace(rest[:idx])
+		if cand == "" || !isLabelName(cand) {
+			break
+		}
+		prefix += cand + ":"
+		rest = strings.TrimSpace(rest[idx+1:])
+	}
+
+	mnemonic, operands := splitMnemonic(rest)
+	def, isMacro := macros[mnemonic]
+	if !isMacro {
+		return []expLine{{text: text, line: lineNo}}, nil
+	}
+
+	args := splitOperands(operands)
+	if len(args) == 1 && args[0] == "" {
+		args = nil
+	}
+	if len(args) != len(def.params) {
+		return nil, errf(file, lineNo, "macro %q expects %d arguments, got %d",
+			def.name, len(def.params), len(args))
+	}
+	*expCount++
+	unique := strconv.Itoa(*expCount)
+
+	var out []expLine
+	if prefix != "" {
+		out = append(out, expLine{text: prefix, line: lineNo})
+	}
+	for _, bodyLine := range def.body {
+		sub := bodyLine
+		for pi, pname := range def.params {
+			sub = strings.ReplaceAll(sub, `\`+pname, strings.TrimSpace(args[pi]))
+		}
+		sub = strings.ReplaceAll(sub, `\@`, unique)
+		if strings.Contains(sub, `\`) {
+			return nil, errf(file, lineNo, "macro %q: unresolved parameter in %q", def.name, sub)
+		}
+		inner, err := expandLine(file, lineNo, sub, macros, expCount, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inner...)
+	}
+	return out, nil
+}

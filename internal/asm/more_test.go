@@ -1,0 +1,325 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cosim/internal/isa"
+)
+
+func TestBranchRangeLimits(t *testing.T) {
+	// A branch spanning more than 2^15 words must be rejected.
+	var sb strings.Builder
+	sb.WriteString("_start:\n    beq a0, a1, far\n")
+	for i := 0; i < 40000; i++ {
+		sb.WriteString("    nop\n")
+	}
+	sb.WriteString("far:\n    halt\n")
+	if _, err := Assemble(Options{}, Source{Name: "far.s", Text: sb.String()}); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+	// JAL reaches much further (21-bit word offset).
+	sb.Reset()
+	sb.WriteString("_start:\n    j far\n")
+	for i := 0; i < 40000; i++ {
+		sb.WriteString("    nop\n")
+	}
+	sb.WriteString("far:\n    halt\n")
+	if _, err := Assemble(Options{}, Source{Name: "far.s", Text: sb.String()}); err != nil {
+		t.Fatalf("jal within range rejected: %v", err)
+	}
+}
+
+func TestNegativeLi(t *testing.T) {
+	im := assemble(t, "_start:\n    li a0, -1\n    li a1, -559038737\n    halt\n")
+	hi, _ := isa.Decode(word(t, im, 0))
+	lo, _ := isa.Decode(word(t, im, 1))
+	if uint32(hi.Imm) != 0xffff || uint32(lo.Imm) != 0xffff {
+		t.Fatalf("li -1 = lui %#x / ori %#x", hi.Imm, lo.Imm)
+	}
+	// -559038737 = 0xDEADBEEF
+	hi2, _ := isa.Decode(word(t, im, 2))
+	lo2, _ := isa.Decode(word(t, im, 3))
+	if uint32(hi2.Imm) != 0xdead || uint32(lo2.Imm) != 0xbeef {
+		t.Fatalf("li 0xdeadbeef = lui %#x / ori %#x", hi2.Imm, lo2.Imm)
+	}
+}
+
+func TestOverlappingOrgRejected(t *testing.T) {
+	src := `
+_start:
+    nop
+    nop
+.org 0x4
+    halt
+`
+	if _, err := Assemble(Options{}, Source{Name: "ovl.s", Text: src}); err == nil {
+		t.Fatal("overlapping .org output accepted")
+	}
+}
+
+func TestHiLoComposition(t *testing.T) {
+	im := assemble(t, `
+.equ ADDR, 0xCAFE8000
+_start:
+    lui  a0, %hi(ADDR)
+    ori  a0, a0, %lo(ADDR)
+    halt
+`)
+	hi, _ := isa.Decode(word(t, im, 0))
+	lo, _ := isa.Decode(word(t, im, 1))
+	if uint32(hi.Imm) != 0xcafe || uint32(lo.Imm) != 0x8000 {
+		t.Fatalf("hi/lo = %#x/%#x", hi.Imm, lo.Imm)
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	im := assemble(t, `
+_start: addi a0, zero, 1
+loop:   addi a0, a0, 1
+        bnez a0, loop
+`)
+	if im.MustSymbol("loop") != 4 {
+		t.Fatalf("loop = %d", im.MustSymbol("loop"))
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	im := assemble(t, `
+_start:
+alias1:
+alias2:
+    nop
+`)
+	if im.MustSymbol("alias1") != 0 || im.MustSymbol("alias2") != 0 {
+		t.Fatal("aliased labels broken")
+	}
+}
+
+func TestSectionSwitchBackAndForth(t *testing.T) {
+	im, err := Assemble(Options{TextBase: 0, DataBase: 0x1000}, Source{Name: "s.s", Text: `
+.text
+_start:
+    nop
+.data
+d1: .word 1
+.text
+    halt
+.data
+d2: .word 2
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.MustSymbol("d1") != 0x1000 || im.MustSymbol("d2") != 0x1004 {
+		t.Fatalf("d1=%#x d2=%#x", im.MustSymbol("d1"), im.MustSymbol("d2"))
+	}
+	// The halt continues the text section at address 4.
+	i, _ := isa.Decode(word(t, im, 1))
+	if i.Op != isa.HALT {
+		t.Fatalf("second text word = %v", i)
+	}
+}
+
+func TestExprPrecedenceMatchesGo(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2+3*4-1", 2 + 3*4 - 1},
+		{"1<<4|1<<2", 1<<4 | 1<<2},
+		{"0xFF&0x0F|0xF0", 0xff&0x0f | 0xf0},
+		{"100/10/2", 100 / 10 / 2},
+		{"7-2-1", 7 - 2 - 1},
+		{"-3*-4", -3 * -4},
+		{"(1|2)&3", (1 | 2) & 3},
+		{"1<<2<<3", 1 << 2 << 3},
+	}
+	lookup := func(string) (int64, bool) { return 0, false }
+	for _, c := range cases {
+		got, err := evalExpr(c.expr, 0, lookup)
+		if err != nil {
+			t.Errorf("%q: %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEquForwardToLabel(t *testing.T) {
+	// .equ referencing a label defined earlier in the file works; a
+	// forward reference in .equ must be rejected (single-pass equ).
+	im := assemble(t, `
+_start:
+    nop
+here:
+.equ HERE_ALIAS, here
+    halt
+`)
+	if im.MustSymbol("HERE_ALIAS") != 4 {
+		t.Fatalf("alias = %d", im.MustSymbol("HERE_ALIAS"))
+	}
+	if _, err := Assemble(Options{}, Source{Name: "f.s", Text: ".equ X, later\n_start:\nlater:\n    nop\n"}); err == nil {
+		t.Fatal("forward reference in .equ accepted")
+	}
+}
+
+func TestStoreOperandUsesSourceRegister(t *testing.T) {
+	im := assemble(t, "_start:\n    sw a5, -4(sp)\n")
+	i, _ := isa.Decode(word(t, im, 0))
+	if i.Op != isa.SW || isa.RegName(i.Rd) != "a5" || isa.RegName(i.Rs1) != "sp" || i.Imm != -4 {
+		t.Fatalf("sw = %+v", i)
+	}
+}
+
+func TestEmptyAndCommentOnlySource(t *testing.T) {
+	im, err := Assemble(Options{}, Source{Name: "e.s", Text: "; nothing here\n\n# more nothing\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.TotalBytes() != 0 {
+		t.Fatalf("bytes = %d", im.TotalBytes())
+	}
+}
+
+func TestEntryFallsBackToTextBase(t *testing.T) {
+	im, err := Assemble(Options{TextBase: 0x400}, Source{Name: "n.s", Text: "begin:\n    nop\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != 0x400 {
+		t.Fatalf("entry = %#x", im.Entry)
+	}
+	im2, err := Assemble(Options{EntrySymbol: "begin"}, Source{Name: "n.s", Text: "begin:\n    nop\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.Entry != 0 {
+		t.Fatalf("entry = %#x", im2.Entry)
+	}
+}
+
+func TestMacroExpansion(t *testing.T) {
+	im := assemble(t, `
+.macro push reg
+    addi sp, sp, -4
+    sw   \reg, 0(sp)
+.endm
+.macro pop reg
+    lw   \reg, 0(sp)
+    addi sp, sp, 4
+.endm
+_start:
+    li   sp, 0x1000
+    push a0
+    push a1
+    pop  a1
+    pop  a0
+    halt
+`)
+	// li = 2 words, then 4 macro invocations x 2 words, then halt.
+	if got := im.TotalBytes(); got != 4*(2+8+1) {
+		t.Fatalf("bytes = %d", got)
+	}
+	// The first push expands to addi sp,sp,-4 / sw a0, 0(sp).
+	if got := isa.Disassemble(word(t, im, 2)); got != "addi sp, sp, -4" {
+		t.Fatalf("push[0] = %q", got)
+	}
+	if got := isa.Disassemble(word(t, im, 3)); got != "sw a0, 0(sp)" {
+		t.Fatalf("push[1] = %q", got)
+	}
+}
+
+func TestMacroUniqueLabels(t *testing.T) {
+	im := assemble(t, `
+.macro clamp reg, max
+    addi at, zero, \max
+    blt  \reg, at, skip\@
+    mv   \reg, at
+skip\@:
+.endm
+_start:
+    clamp a0, 10
+    clamp a1, 20
+    halt
+`)
+	if _, ok := im.Symbol("skip1"); !ok {
+		t.Fatal("skip1 missing")
+	}
+	if _, ok := im.Symbol("skip2"); !ok {
+		t.Fatal("skip2 missing")
+	}
+}
+
+func TestMacroNestedInvocation(t *testing.T) {
+	im := assemble(t, `
+.macro double reg
+    add \reg, \reg, \reg
+.endm
+.macro quad reg
+    double \reg
+    double \reg
+.endm
+_start:
+    quad a0
+    halt
+`)
+	if got := isa.Disassemble(word(t, im, 0)); got != "add a0, a0, a0" {
+		t.Fatalf("quad[0] = %q", got)
+	}
+	if got := isa.Disassemble(word(t, im, 1)); got != "add a0, a0, a0" {
+		t.Fatalf("quad[1] = %q", got)
+	}
+}
+
+func TestMacroLineAttribution(t *testing.T) {
+	src := `.macro bump
+    addi s0, s0, 1
+.endm
+_start:
+    nop
+    bump
+    halt
+`
+	im, err := Assemble(Options{}, Source{Name: "m.s", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bump invocation is on line 6; its expansion must map there.
+	if a, ok := im.AddrOfLine("m.s", 6); !ok || a != 4 {
+		t.Fatalf("AddrOfLine(6) = %#x, %v", a, ok)
+	}
+}
+
+func TestMacroWithLabelPrefix(t *testing.T) {
+	im := assemble(t, `
+.macro inc reg
+    addi \reg, \reg, 1
+.endm
+_start:
+here: inc a0
+    halt
+`)
+	if im.MustSymbol("here") != 0 {
+		t.Fatalf("here = %d", im.MustSymbol("here"))
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	bad := []string{
+		".macro\n.endm\n",
+		".macro m\n    nop\n", // unterminated
+		".endm\n",             // stray endm
+		".macro m a\n    addi \\a, \\a, 1\n.endm\n_start:\n    m\n", // arg count
+		".macro m\n    addi \\bogus, zero, 1\n.endm\n_start:\n    m\n",
+		".macro m\n.endm\n.macro m\n.endm\n",       // duplicate
+		".macro r\n    r\n.endm\n_start:\n    r\n", // infinite recursion
+	}
+	for _, src := range bad {
+		if _, err := Assemble(Options{}, Source{Name: "bad.s", Text: src}); err == nil {
+			t.Errorf("macro source %q accepted", src)
+		}
+	}
+}

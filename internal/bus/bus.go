@@ -1,0 +1,240 @@
+// Package bus models the shared system bus of the paper's architectural
+// template (§3: "several processors interacting with hardware blocks,
+// and communicating between them through a common bus"): multiple
+// masters issue word transactions, a round-robin arbiter grants the bus
+// one transaction at a time, each transaction occupies the bus for a
+// configurable number of clock cycles, and an address decoder routes it
+// to the mapped slave.
+package bus
+
+import (
+	"fmt"
+	"sort"
+
+	"cosim/internal/sim"
+)
+
+// Device is a bus slave: the same shape as iss.Device, so the MMIO
+// peripheral models in internal/dev can be mapped on the system bus
+// directly.
+type Device interface {
+	Name() string
+	Size() uint32
+	Read(off uint32, size int) (uint32, error)
+	Write(off uint32, size int, v uint32) error
+}
+
+// Transaction is one bus operation.
+type Transaction struct {
+	Addr  uint32
+	Write bool
+	Data  uint32 // write data in; read data out
+
+	Err  error
+	done *sim.Event
+}
+
+// Config parameterizes the bus.
+type Config struct {
+	// Clock paces transactions.
+	Clock *sim.Clock
+	// CyclesPerTransaction is the bus occupancy per transaction.
+	CyclesPerTransaction int
+	// Masters is the number of request ports (for round-robin
+	// arbitration).
+	Masters int
+}
+
+type mapping struct {
+	base uint32
+	dev  Device
+}
+
+// Bus is the arbitrated shared interconnect.
+type Bus struct {
+	sim.Module
+	cfg    Config
+	slaves []mapping
+
+	queues  [][]*Transaction // per-master request queues
+	pending *sim.Event
+	rr      int
+
+	granted  uint64
+	busyTime sim.Time
+}
+
+// New creates the bus and starts its arbiter process.
+func New(k *sim.Kernel, name string, cfg Config) *Bus {
+	if cfg.Clock == nil {
+		panic("bus: a clock is required")
+	}
+	if cfg.CyclesPerTransaction <= 0 {
+		cfg.CyclesPerTransaction = 1
+	}
+	if cfg.Masters <= 0 {
+		cfg.Masters = 1
+	}
+	b := &Bus{
+		Module:  k.NewModule(name),
+		cfg:     cfg,
+		queues:  make([][]*Transaction, cfg.Masters),
+		pending: k.NewEvent(name + ".pending"),
+	}
+	k.Thread(b.Sub("arbiter"), b.arbiter)
+	return b
+}
+
+// Map attaches a slave at a base address; overlaps are rejected.
+func (b *Bus) Map(base uint32, dev Device) error {
+	end := base + dev.Size()
+	if end < base {
+		return fmt.Errorf("bus: device %s wraps the address space", dev.Name())
+	}
+	for _, m := range b.slaves {
+		if base < m.base+m.dev.Size() && m.base < end {
+			return fmt.Errorf("bus: device %s overlaps %s", dev.Name(), m.dev.Name())
+		}
+	}
+	b.slaves = append(b.slaves, mapping{base, dev})
+	sort.Slice(b.slaves, func(i, j int) bool { return b.slaves[i].base < b.slaves[j].base })
+	return nil
+}
+
+// Granted returns the number of completed transactions.
+func (b *Bus) Granted() uint64 { return b.granted }
+
+// BusyTime returns the cumulative simulated time the bus was occupied.
+func (b *Bus) BusyTime() sim.Time { return b.busyTime }
+
+// Utilization returns busy time over total time.
+func (b *Bus) Utilization() float64 {
+	now := b.Kernel().Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(b.busyTime) / float64(now)
+}
+
+// Submit enqueues a transaction for the given master and returns an
+// event notified at completion. Callable from methods and threads.
+func (b *Bus) Submit(master int, t *Transaction) *sim.Event {
+	if master < 0 || master >= len(b.queues) {
+		panic(fmt.Sprintf("bus: bad master index %d", master))
+	}
+	t.done = b.Kernel().NewEvent(b.Sub("done"))
+	b.queues[master] = append(b.queues[master], t)
+	b.pending.Notify()
+	return t.done
+}
+
+// Read performs a blocking word read on behalf of master (thread
+// context only).
+func (b *Bus) Read(c *sim.Ctx, master int, addr uint32) (uint32, error) {
+	t := &Transaction{Addr: addr}
+	done := b.Submit(master, t)
+	c.Wait(done)
+	return t.Data, t.Err
+}
+
+// Write performs a blocking word write on behalf of master (thread
+// context only).
+func (b *Bus) Write(c *sim.Ctx, master int, addr uint32, v uint32) error {
+	t := &Transaction{Addr: addr, Write: true, Data: v}
+	done := b.Submit(master, t)
+	c.Wait(done)
+	return t.Err
+}
+
+// pick selects the next transaction round-robin; nil if all queues are
+// empty.
+func (b *Bus) pick() *Transaction {
+	n := len(b.queues)
+	for i := 0; i < n; i++ {
+		m := (b.rr + i) % n
+		if len(b.queues[m]) > 0 {
+			t := b.queues[m][0]
+			b.queues[m] = b.queues[m][1:]
+			b.rr = (m + 1) % n
+			return t
+		}
+	}
+	return nil
+}
+
+// arbiter is the bus process: grant, occupy, decode, complete.
+func (b *Bus) arbiter(c *sim.Ctx) {
+	period := b.cfg.Clock.Period()
+	for {
+		t := b.pick()
+		if t == nil {
+			c.Wait(b.pending)
+			continue
+		}
+		// Bus occupancy: the transaction holds the bus for N cycles.
+		occupancy := sim.Time(b.cfg.CyclesPerTransaction) * period
+		c.WaitTime(occupancy)
+		b.busyTime += occupancy
+
+		m, ok := b.decode(t.Addr)
+		if !ok {
+			t.Err = fmt.Errorf("bus: no slave at %#08x", t.Addr)
+		} else if t.Write {
+			t.Err = m.dev.Write(t.Addr-m.base, 4, t.Data)
+		} else {
+			t.Data, t.Err = m.dev.Read(t.Addr-m.base, 4)
+		}
+		b.granted++
+		t.done.Notify()
+	}
+}
+
+func (b *Bus) decode(addr uint32) (mapping, bool) {
+	i := sort.Search(len(b.slaves), func(i int) bool {
+		return b.slaves[i].base+b.slaves[i].dev.Size() > addr
+	})
+	if i < len(b.slaves) && addr >= b.slaves[i].base {
+		return b.slaves[i], true
+	}
+	return mapping{}, false
+}
+
+// Memory is a simple word-addressed RAM slave for bus modeling.
+type Memory struct {
+	name string
+	data []byte
+}
+
+// NewMemory creates a memory slave of the given byte size.
+func NewMemory(name string, size uint32) *Memory {
+	return &Memory{name: name, data: make([]byte, size)}
+}
+
+// Name implements Device.
+func (m *Memory) Name() string { return m.name }
+
+// Size implements Device.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Read implements Device.
+func (m *Memory) Read(off uint32, size int) (uint32, error) {
+	if int(off)+size > len(m.data) {
+		return 0, fmt.Errorf("%s: read beyond end at %#x", m.name, off)
+	}
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(m.data[off+uint32(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write implements Device.
+func (m *Memory) Write(off uint32, size int, v uint32) error {
+	if int(off)+size > len(m.data) {
+		return fmt.Errorf("%s: write beyond end at %#x", m.name, off)
+	}
+	for i := 0; i < size; i++ {
+		m.data[off+uint32(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}

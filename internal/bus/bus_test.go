@@ -1,0 +1,168 @@
+package bus
+
+import (
+	"testing"
+
+	"cosim/internal/sim"
+)
+
+func newBus(t *testing.T, masters, cycles int) (*sim.Kernel, *Bus, *Memory) {
+	t.Helper()
+	k := sim.NewKernel("t")
+	clk := sim.NewClock(k, "clk", 10*sim.NS)
+	b := New(k, "bus", Config{Clock: clk, Masters: masters, CyclesPerTransaction: cycles})
+	mem := NewMemory("mem", 4096)
+	if err := b.Map(0x1000, mem); err != nil {
+		t.Fatal(err)
+	}
+	return k, b, mem
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	k, b, _ := newBus(t, 1, 1)
+	var got uint32
+	k.Thread("m0", func(c *sim.Ctx) {
+		if err := b.Write(c, 0, 0x1010, 0xdeadbeef); err != nil {
+			t.Error(err)
+		}
+		v, err := b.Read(c, 0, 0x1010)
+		if err != nil {
+			t.Error(err)
+		}
+		got = v
+		k.Stop()
+	})
+	if err := k.Run(sim.MS); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if got != 0xdeadbeef {
+		t.Fatalf("got %#x", got)
+	}
+	if b.Granted() != 2 {
+		t.Fatalf("granted = %d", b.Granted())
+	}
+}
+
+func TestUnmappedAddressErrors(t *testing.T) {
+	k, b, _ := newBus(t, 1, 1)
+	var err error
+	k.Thread("m0", func(c *sim.Ctx) {
+		_, err = b.Read(c, 0, 0x9999_0000)
+		k.Stop()
+	})
+	_ = k.Run(sim.MS)
+	k.Shutdown()
+	if err == nil {
+		t.Fatal("read of unmapped address succeeded")
+	}
+}
+
+func TestTransactionTiming(t *testing.T) {
+	k, b, _ := newBus(t, 1, 3) // 3 cycles x 10ns = 30ns per transaction
+	var t0, t1 sim.Time
+	k.Thread("m0", func(c *sim.Ctx) {
+		t0 = c.Now()
+		_ = b.Write(c, 0, 0x1000, 1)
+		t1 = c.Now()
+		k.Stop()
+	})
+	_ = k.Run(sim.MS)
+	k.Shutdown()
+	if t1-t0 != 30*sim.NS {
+		t.Fatalf("transaction took %v, want 30ns", t1-t0)
+	}
+	if b.BusyTime() != 30*sim.NS {
+		t.Fatalf("busy = %v", b.BusyTime())
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	k, b, _ := newBus(t, 2, 2) // 20ns per transaction
+	var end0, end1 sim.Time
+	k.Thread("m0", func(c *sim.Ctx) {
+		_ = b.Write(c, 0, 0x1000, 1)
+		end0 = c.Now()
+	})
+	k.Thread("m1", func(c *sim.Ctx) {
+		_ = b.Write(c, 1, 0x1004, 2)
+		end1 = c.Now()
+	})
+	k.Thread("stopper", func(c *sim.Ctx) {
+		c.WaitTime(sim.US)
+		k.Stop()
+	})
+	_ = k.Run(sim.MS)
+	k.Shutdown()
+	// Both issued at time 0; the bus serializes them: 20ns and 40ns.
+	lo, hi := end0, end1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != 20*sim.NS || hi != 40*sim.NS {
+		t.Fatalf("completion times %v, %v; want 20ns and 40ns", end0, end1)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	k, b, _ := newBus(t, 2, 1)
+	counts := [2]int{}
+	for m := 0; m < 2; m++ {
+		m := m
+		k.Thread("m", func(c *sim.Ctx) {
+			for i := 0; i < 50; i++ {
+				_ = b.Write(c, m, 0x1000+uint32(4*m), uint32(i))
+				counts[m]++
+			}
+		})
+	}
+	k.Thread("stopper", func(c *sim.Ctx) {
+		c.WaitTime(100 * sim.US)
+		k.Stop()
+	})
+	_ = k.Run(sim.MS)
+	k.Shutdown()
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Fatalf("counts = %v: arbitration starved a master", counts)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	k := sim.NewKernel("t")
+	clk := sim.NewClock(k, "clk", 10*sim.NS)
+	b := New(k, "bus", Config{Clock: clk, Masters: 1})
+	if err := b.Map(0x1000, NewMemory("a", 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(0x1080, NewMemory("b", 256)); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	k.Shutdown()
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory("m", 8)
+	if err := m.Write(6, 4, 1); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if _, err := m.Read(8, 1); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k, b, _ := newBus(t, 1, 1)
+	k.Thread("m0", func(c *sim.Ctx) {
+		for i := 0; i < 10; i++ {
+			_ = b.Write(c, 0, 0x1000, uint32(i))
+			c.WaitTime(10 * sim.NS) // idle gap
+		}
+		k.Stop()
+	})
+	_ = k.Run(sim.MS)
+	k.Shutdown()
+	u := b.Utilization()
+	if u <= 0.3 || u >= 0.7 {
+		t.Fatalf("utilization = %.2f, want ~0.5", u)
+	}
+}

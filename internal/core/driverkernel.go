@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cosim/internal/sim"
+)
+
+// DriverKernel is the paper's second proposed scheme (§4): the guest OS
+// device driver masters the co-simulation, exchanging binary READ/WRITE
+// messages with the SystemC kernel over the data socket (port 4444 in
+// the paper) while the kernel notifies interrupts over the interrupt
+// socket (port 4445). The scheduler modifications of Figure 5 map to a
+// begin-of-cycle hook (drain the data socket) and an end-of-cycle hook
+// (send queued interrupt notifications).
+type DriverKernel struct {
+	k *sim.Kernel
+
+	dataW io.Writer
+	irqW  io.Writer
+
+	period     sim.Time
+	syncCycles uint32
+	syncTime   sim.Time
+
+	mu     sync.Mutex
+	inbox  []Message
+	rdErr  error
+	notify chan struct{} // signalled by the reader when messages arrive
+
+	// Conservative synchronization, as in gdbEngine: when skewBound is
+	// non-zero, the kernel waits (wall-clock) for the guest's next
+	// message rather than racing simulated time past an outstanding
+	// request (a READ reply or a notified interrupt).
+	skewBound   sim.Time
+	outstanding bool
+	outSince    sim.Time
+
+	pendingReads []*binding
+	outBindings  map[string]*binding // port name -> binding (ToISS)
+	intQueue     []uint32
+
+	journal *Journal
+
+	err   error
+	stats Stats
+}
+
+// DriverKernelOptions configures the scheme.
+type DriverKernelOptions struct {
+	// CPUPeriod couples guest cycle stamps to simulated time; zero
+	// disables timing.
+	CPUPeriod sim.Time
+	// SkewBound, when non-zero, limits how far simulated time may run
+	// past an outstanding request before the kernel waits (wall-clock)
+	// for the guest. Zero = free-running.
+	SkewBound sim.Time
+	// Ports declares the iss_in (ToSystemC) and iss_out (ToISS) ports
+	// the driver may address. Var/breakpoint fields are unused here —
+	// the driver names ports explicitly in its messages.
+	Ports []VarBinding
+	// Journal, when non-nil, records every transfer.
+	Journal *Journal
+}
+
+// NewDriverKernel attaches the scheme. data and irq are the kernel-side
+// ends of the two sockets.
+func NewDriverKernel(k *sim.Kernel, data io.ReadWriter, irq io.Writer, opts DriverKernelOptions) (*DriverKernel, error) {
+	d := &DriverKernel{
+		k: k, dataW: data, irqW: irq,
+		period:      opts.CPUPeriod,
+		skewBound:   opts.SkewBound,
+		journal:     opts.Journal,
+		outBindings: make(map[string]*binding),
+		notify:      make(chan struct{}, 1),
+	}
+	for _, s := range opts.Ports {
+		b := &binding{spec: s}
+		if s.Dir == ToSystemC {
+			if _, ok := k.IssInPort(s.Port); !ok {
+				b.inPort = k.NewIssIn(s.Port)
+			}
+		} else {
+			p, ok := k.IssOutPort(s.Port)
+			if !ok {
+				p = k.NewIssOut(s.Port)
+			}
+			b.outPort = p
+			d.outBindings[s.Port] = b
+		}
+	}
+
+	// Reader goroutine: decode messages from the data socket into an
+	// in-process inbox the cycle hook drains.
+	go func() {
+		br := bufio.NewReader(data)
+		for {
+			m, err := ReadMessage(br)
+			if err != nil {
+				d.mu.Lock()
+				d.rdErr = err
+				d.mu.Unlock()
+				return
+			}
+			d.mu.Lock()
+			d.inbox = append(d.inbox, m)
+			d.mu.Unlock()
+			select {
+			case d.notify <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	k.AddCycleHook(d.drain)
+	k.AddEndCycleHook(d.flushInterrupts)
+	if c, ok := data.(net.Conn); ok {
+		k.AddFinalizer(func() { _ = c.Close() })
+	}
+	if c, ok := irq.(net.Conn); ok {
+		k.AddFinalizer(func() { _ = c.Close() })
+	}
+	return d, nil
+}
+
+// Stats returns co-simulation activity counters.
+func (d *DriverKernel) Stats() Stats { return d.stats }
+
+// Err returns the first co-simulation error, if any.
+func (d *DriverKernel) Err() error { return d.err }
+
+// RaiseInterrupt queues an interrupt for the guest driver; it is sent
+// on the interrupt socket at the end of the current simulation cycle,
+// per Figure 5 ("before moving to the following simulation cycle ...
+// the interrupt is notified to the driver"). Models call this from
+// their processes.
+func (d *DriverKernel) RaiseInterrupt(id uint32) {
+	d.intQueue = append(d.intQueue, id)
+}
+
+// targetTime maps a guest cycle stamp to simulated time (32-bit
+// wrap-aware).
+func (d *DriverKernel) targetTime(cycles uint32) sim.Time {
+	if d.period == 0 {
+		return d.k.Now()
+	}
+	delta := cycles - d.syncCycles // wraps correctly in uint32
+	return d.syncTime + sim.Time(delta)*d.period
+}
+
+func (d *DriverKernel) advanceSync(cycles uint32, t sim.Time) {
+	d.syncCycles = cycles
+	if t > d.k.Now() {
+		d.syncTime = t
+	} else {
+		d.syncTime = d.k.Now()
+	}
+}
+
+// drain is the begin-of-cycle hook: handle every message that arrived
+// since the last cycle (Figure 5: "checks the content of the message to
+// be possibly exchanged with the driver").
+func (d *DriverKernel) drain(k *sim.Kernel) {
+	if d.err != nil {
+		return
+	}
+	d.stats.Polls++
+
+	// Serve pending READs whose port has been written since.
+	if len(d.pendingReads) > 0 {
+		rest := d.pendingReads[:0]
+		for _, b := range d.pendingReads {
+			if b.outPort.Writes() > b.consumed {
+				d.reply(b)
+			} else {
+				rest = append(rest, b)
+			}
+		}
+		d.pendingReads = rest
+	}
+
+	// Conservative sync: wait for the guest instead of letting simulated
+	// time race past an outstanding request.
+	if d.skewBound != 0 && d.outstanding && k.Now() >= d.outSince+d.skewBound {
+		d.mu.Lock()
+		empty := len(d.inbox) == 0 && d.rdErr == nil
+		d.mu.Unlock()
+		if empty {
+			timer := time.NewTimer(time.Second)
+			select {
+			case <-d.notify:
+			case <-timer.C:
+				// Give up on this request; don't stall the simulation.
+				d.outstanding = false
+			}
+			timer.Stop()
+		}
+	}
+
+	d.mu.Lock()
+	msgs := d.inbox
+	d.inbox = nil
+	err := d.rdErr
+	d.mu.Unlock()
+	if err != nil && err != io.EOF && len(msgs) == 0 && d.err == nil {
+		// Surface read errors once the stream is dry. EOF is a normal
+		// guest shutdown.
+		d.err = fmt.Errorf("driver-kernel: %w", err)
+	}
+
+	for _, m := range msgs {
+		d.stats.Messages++
+		switch m.Type {
+		case MsgWrite:
+			port, ok := k.IssInPort(m.Port)
+			if !ok {
+				d.err = fmt.Errorf("driver-kernel: WRITE to unknown port %q", m.Port)
+				return
+			}
+			t := d.targetTime(m.Cycles)
+			data := m.Data
+			k.CallAt(t, func() { port.Deliver(data) })
+			d.advanceSync(m.Cycles, t)
+			d.stats.Transfers++
+			d.outstanding = false
+			d.journal.Record(JournalEntry{
+				Time: t, Scheme: "driver-kernel", Dir: "iss->sc",
+				Port: m.Port, Bytes: len(m.Data), Cycles: uint64(m.Cycles),
+			})
+		case MsgRead:
+			b, ok := d.outBindings[m.Port]
+			if !ok {
+				d.err = fmt.Errorf("driver-kernel: READ of unknown port %q", m.Port)
+				return
+			}
+			d.outstanding = false // the guest is alive and asking
+			d.advanceSync(m.Cycles, d.targetTime(m.Cycles))
+			if b.outPort.Writes() > b.consumed {
+				d.reply(b)
+			} else {
+				d.pendingReads = append(d.pendingReads, b)
+			}
+		default:
+			d.err = fmt.Errorf("driver-kernel: unexpected message type %d from driver", m.Type)
+			return
+		}
+	}
+}
+
+// reply sends the current iss_out port value as a DATA message followed
+// by a DATA_READY interrupt so a WFI-parked guest wakes up.
+func (d *DriverKernel) reply(b *binding) {
+	out, err := Message{Type: MsgData, Data: b.outPort.Bytes()}.Encode()
+	if err != nil {
+		d.err = err
+		return
+	}
+	if _, err := d.dataW.Write(out); err != nil {
+		d.err = fmt.Errorf("driver-kernel: data socket: %w", err)
+		return
+	}
+	b.consumed = b.outPort.Writes()
+	b.outPort.Consumed()
+	d.stats.Transfers++
+	d.outstanding = true
+	d.outSince = d.k.Now()
+	d.journal.Record(JournalEntry{
+		Time: d.k.Now(), Scheme: "driver-kernel", Dir: "sc->iss",
+		Port: b.spec.Port, Bytes: len(b.outPort.Bytes()),
+	})
+	// The guest idled while waiting; re-anchor its timeline.
+	d.syncTime = d.k.Now()
+	if _, err := d.irqW.Write(EncodeInterrupt(IntDataReady)); err != nil {
+		d.err = fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+	}
+}
+
+// flushInterrupts is the end-of-cycle hook of Figure 5.
+func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
+	if d.err != nil || len(d.intQueue) == 0 {
+		return
+	}
+	for _, id := range d.intQueue {
+		if _, err := d.irqW.Write(EncodeInterrupt(id)); err != nil {
+			d.err = fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+			return
+		}
+		d.stats.IntsNotified++
+	}
+	d.intQueue = d.intQueue[:0]
+	// An interrupt usually solicits guest work; treat it as a request
+	// for skew-bound purposes.
+	d.outstanding = true
+	d.outSince = k.Now()
+}

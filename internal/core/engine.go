@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"cosim/internal/gdb"
+	"cosim/internal/sim"
+)
+
+// Stats counts co-simulation activity for the benchmark harness.
+type Stats struct {
+	Transfers    uint64 // variable/message data transfers
+	Stops        uint64 // breakpoint stops handled (GDB schemes)
+	Polls        uint64 // per-cycle checks performed
+	Messages     uint64 // protocol messages handled (Driver-Kernel)
+	IntsNotified uint64 // interrupts sent to the driver
+}
+
+// gdbEngine is the breakpoint/variable-transfer machinery shared by the
+// GDB-Wrapper and GDB-Kernel schemes.
+type gdbEngine struct {
+	k       *sim.Kernel
+	cl      *gdb.Client
+	byAddr  map[uint32]*binding
+	byWatch map[uint32]*binding // watch-mode bindings, keyed by variable address
+
+	// period is the guest CPU cycle length in simulated time; zero means
+	// untimed delivery (used by the lock-step wrapper, whose timing is
+	// implicit in the per-cycle quantum).
+	period sim.Time
+
+	syncCycles uint64
+	syncTime   sim.Time
+
+	// waiting is the binding whose iss_out port the stopped ISS needs
+	// data for; nil when the ISS is runnable.
+	waiting *binding
+
+	// Conservative synchronization: when skewBound is non-zero and a
+	// request has been handed to the ISS (an iss_out transfer), the
+	// scheme stops advancing simulated time more than skewBound past
+	// the request until the ISS responds. This keeps cycle-coupled
+	// response latencies meaningful even though the free-running ISS is
+	// paced by the wall clock.
+	skewBound   sim.Time
+	outstanding bool
+	outSince    sim.Time
+
+	exited bool
+	stats  Stats
+
+	// journal, when set, records every transfer.
+	journal    *Journal
+	schemeName string
+
+	// debug, when set, receives a trace of engine activity.
+	debug func(format string, args ...any)
+}
+
+func (e *gdbEngine) debugf(format string, args ...any) {
+	if e.debug != nil {
+		e.debug(format, args...)
+	}
+}
+
+// installBreakpoints plants a software breakpoint at each line binding
+// and a write watchpoint at each watch-mode binding.
+func (e *gdbEngine) installBreakpoints() error {
+	for addr := range e.byAddr {
+		if err := e.cl.SetBreakpoint(addr); err != nil {
+			return err
+		}
+	}
+	for addr, b := range e.byWatch {
+		if err := e.cl.SetWatchpoint(addr, b.spec.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// targetTime maps a guest cycle count to simulated time.
+func (e *gdbEngine) targetTime(cycles uint64) sim.Time {
+	if e.period == 0 {
+		return e.k.Now()
+	}
+	return e.syncTime + sim.Time(cycles-e.syncCycles)*e.period
+}
+
+// handleStop services a breakpoint stop. It reads the full register
+// file (one 'g' transaction, as gdb itself does on every stop) to learn
+// the PC and cycle counter, then transfers data according to the
+// binding. It returns true if the ISS may resume immediately, false if
+// it must stay stopped waiting for SystemC-side data.
+func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
+	e.stats.Stops++
+	regs, err := e.cl.ReadRegisters()
+	if err != nil {
+		return false, err
+	}
+	var b *binding
+	if ev != nil && ev.IsWatch {
+		b = e.byWatch[ev.WatchAddr]
+		if b == nil {
+			return false, fmt.Errorf("core: watchpoint hit at unbound address %#x", ev.WatchAddr)
+		}
+	} else {
+		b = e.byAddr[regs.PC]
+	}
+	e.debugf("stop pc=%#x cycles=%d sync=(%d,%v) now=%v", regs.PC, regs.Cycles, e.syncCycles, e.syncTime, e.k.Now())
+	if b == nil {
+		return false, fmt.Errorf("core: ISS stopped at unbound address %#x", regs.PC)
+	}
+
+	if b.inPort != nil {
+		// ISS -> SystemC: the guest has stored the variable; read it and
+		// deliver to the iss_in port at the cycle-implied time.
+		data, err := e.cl.ReadMemory(b.varAddr, b.spec.Size)
+		if err != nil {
+			return false, err
+		}
+		t := e.targetTime(regs.Cycles)
+		port := b.inPort
+		e.k.CallAt(t, func() { port.Deliver(data) })
+		if t > e.k.Now() {
+			e.syncTime = t
+		} else {
+			e.syncTime = e.k.Now()
+		}
+		e.syncCycles = regs.Cycles
+		e.stats.Transfers++
+		e.outstanding = false
+		e.journal.Record(JournalEntry{
+			Time: t, Scheme: e.schemeName, Dir: "iss->sc",
+			Port: b.spec.Port, Bytes: len(data), Cycles: regs.Cycles,
+		})
+		return true, nil
+	}
+
+	// SystemC -> ISS: the guest is stopped at the read; poke the
+	// variable if the port holds fresh data, else wait.
+	if b.outPort.Writes() > b.consumed {
+		if err := e.pokeOut(b); err != nil {
+			return false, err
+		}
+		e.syncCycles = regs.Cycles
+		e.syncTime = e.k.Now()
+		return true, nil
+	}
+	e.waiting = b
+	e.syncCycles = regs.Cycles
+	return false, nil
+}
+
+// pokeOut writes the iss_out port's value into the guest variable.
+func (e *gdbEngine) pokeOut(b *binding) error {
+	data := b.outPort.Bytes()
+	if len(data) > b.spec.Size {
+		data = data[:b.spec.Size]
+	}
+	if err := e.cl.WriteMemory(b.varAddr, data); err != nil {
+		return err
+	}
+	b.consumed = b.outPort.Writes()
+	b.outPort.Consumed()
+	e.stats.Transfers++
+	e.outstanding = true
+	e.outSince = e.k.Now()
+	e.journal.Record(JournalEntry{
+		Time: e.k.Now(), Scheme: e.schemeName, Dir: "sc->iss",
+		Port: b.spec.Port, Bytes: len(data),
+	})
+	return nil
+}
+
+// mustBlock reports whether the conservative skew bound requires the
+// scheme to wait (in wall time) for the ISS before advancing further.
+func (e *gdbEngine) mustBlock() bool {
+	return e.skewBound != 0 && e.outstanding && e.k.Now() >= e.outSince+e.skewBound
+}
+
+// retryWaiting re-checks a pending iss_out wait; returns true when the
+// transfer happened and the ISS may resume.
+func (e *gdbEngine) retryWaiting() (bool, error) {
+	b := e.waiting
+	if b == nil || b.outPort.Writes() <= b.consumed {
+		return false, nil
+	}
+	if err := e.pokeOut(b); err != nil {
+		return false, err
+	}
+	e.waiting = nil
+	// The ISS idled (in simulated time) while stopped: re-anchor.
+	e.syncTime = e.k.Now()
+	return true, nil
+}

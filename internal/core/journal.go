@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cosim/internal/sim"
+)
+
+// JournalEntry records one co-simulation data transfer.
+type JournalEntry struct {
+	Time   sim.Time
+	Scheme string
+	Dir    string // "iss->sc" or "sc->iss"
+	Port   string
+	Bytes  int
+	Cycles uint64 // guest cycle stamp when known, else 0
+}
+
+// String implements fmt.Stringer.
+func (e JournalEntry) String() string {
+	return fmt.Sprintf("%-10s %-13s %-8s %-12s %4dB cyc=%d",
+		e.Time, e.Scheme, e.Dir, e.Port, e.Bytes, e.Cycles)
+}
+
+// Journal captures the transfer history of a co-simulation run — the
+// observability companion to the schemes: every variable poke, port
+// delivery and driver message lands here with its simulated timestamp.
+// Safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+	limit   int
+	dropped uint64
+}
+
+// NewJournal creates a journal keeping at most limit entries
+// (0 = unlimited).
+func NewJournal(limit int) *Journal {
+	return &Journal{limit: limit}
+}
+
+// Record appends one entry (oldest entries are dropped past the limit).
+func (j *Journal) Record(e JournalEntry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.limit > 0 && len(j.entries) >= j.limit {
+		j.entries = j.entries[1:]
+		j.dropped++
+	}
+	j.entries = append(j.entries, e)
+	j.mu.Unlock()
+}
+
+// Entries returns a snapshot of the captured transfers.
+func (j *Journal) Entries() []JournalEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalEntry, len(j.entries))
+	copy(out, j.entries)
+	return out
+}
+
+// Len returns the number of captured entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Dropped returns how many entries were evicted by the limit.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// WriteCSV dumps the journal as CSV (time in picoseconds).
+func (j *Journal) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ps,scheme,dir,port,bytes,cycles"); err != nil {
+		return err
+	}
+	for _, e := range j.Entries() {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d\n",
+			uint64(e.Time), e.Scheme, e.Dir, e.Port, e.Bytes, e.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

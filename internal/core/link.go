@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cosim/internal/dev"
+	"cosim/internal/gdb"
+	"cosim/internal/iss"
+)
+
+// Transport selects how the two simulators are connected. The paper's
+// implementation used host-OS IPC; both an in-process pipe and real
+// loopback TCP (with genuine syscall costs) are supported.
+type Transport int
+
+const (
+	// TransportPipe uses net.Pipe (synchronous in-process channel).
+	TransportPipe Transport = iota
+	// TransportTCP uses a loopback TCP connection.
+	TransportTCP
+)
+
+// connPair creates a connected pair using the chosen transport.
+func connPair(tr Transport) (host, guest net.Conn, err error) {
+	switch tr {
+	case TransportPipe:
+		host, guest = net.Pipe()
+		return host, guest, nil
+	case TransportTCP:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer ln.Close()
+		type res struct {
+			c   net.Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := ln.Accept()
+			ch <- res{c, err}
+		}()
+		guest, err = net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		r := <-ch
+		if r.err != nil {
+			guest.Close()
+			return nil, nil, r.err
+		}
+		return r.c, guest, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown transport %d", tr)
+}
+
+// shutdownClient stops a possibly-running target and tears the
+// connection down: break-in (0x03) if a continue is outstanding, then
+// kill. Without the break-in, a stub running a non-terminating guest
+// would spin forever — it only watches for the interrupt byte while
+// executing, like a real gdbserver.
+func shutdownClient(cl *gdb.Client, conn io.ReadWriter) {
+	if cl.Running() {
+		_ = cl.Interrupt()
+		if cl.Buffered() {
+			_, _, _ = cl.WaitStopTimeout(time.Second)
+		} else {
+			_, _ = cl.WaitStop()
+		}
+	}
+	_ = cl.Kill()
+	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// GDBTarget is a running ISS served by a GDB stub — the software
+// simulator process of the GDB schemes.
+type GDBTarget struct {
+	CPU  *iss.CPU
+	Stub *gdb.Stub
+	// HostConn is the kernel-side end of the RSP connection.
+	HostConn net.Conn
+
+	served chan error
+}
+
+// StartGDBTarget launches a stub serving cpu in its own goroutine (the
+// ISS "process") and returns the kernel-side connection.
+func StartGDBTarget(cpu *iss.CPU, tr Transport) (*GDBTarget, error) {
+	host, guest, err := connPair(tr)
+	if err != nil {
+		return nil, err
+	}
+	t := &GDBTarget{CPU: cpu, HostConn: host, served: make(chan error, 1)}
+	t.Stub = gdb.NewStub(cpu, guest)
+	go func() {
+		t.served <- t.Stub.Serve()
+		guest.Close()
+	}()
+	return t, nil
+}
+
+// Wait blocks until the stub exits (after a kill/detach or connection
+// close) and returns its error.
+func (t *GDBTarget) Wait() error { return <-t.served }
+
+// DriverTarget is a platform running the RTOS guest, wired to the
+// Driver-Kernel sockets — the software simulator process of §4.
+type DriverTarget struct {
+	Platform *dev.Platform
+	// DataHost and IRQHost are the kernel-side ends.
+	DataHost net.Conn
+	IRQHost  net.Conn
+}
+
+// ConnectDriverTarget wires a platform's CosimDev to a fresh socket
+// pair per §4.1: the data socket ("port 4444") and the interrupt socket
+// ("port 4445").
+func ConnectDriverTarget(p *dev.Platform, tr Transport) (*DriverTarget, error) {
+	dataHost, dataGuest, err := connPair(tr)
+	if err != nil {
+		return nil, err
+	}
+	irqHost, irqGuest, err := connPair(tr)
+	if err != nil {
+		dataHost.Close()
+		dataGuest.Close()
+		return nil, err
+	}
+	p.Cosim.ConnectData(dataGuest, dataGuest)
+	p.Cosim.ConnectIRQ(irqGuest)
+	return &DriverTarget{Platform: p, DataHost: dataHost, IRQHost: irqHost}, nil
+}

@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: three ISS–SystemC
+// co-simulation schemes over the simulation kernel in internal/sim.
+//
+//   - GDBWrapper — the state-of-the-art baseline of Benini et al. [14]:
+//     an explicitly instantiated wrapper module whose clocked sc_method
+//     drives the ISS in lock-step through the GDB remote debugging
+//     interface, one IPC round trip per clock cycle.
+//   - GDBKernel — the paper's first scheme (§3): the wrapper is embedded
+//     in the simulation kernel; the ISS free-runs under gdb 'continue'
+//     and a begin-of-cycle kernel hook checks an in-process queue for
+//     breakpoint stops, transferring data between guest variables and
+//     iss_in/iss_out ports.
+//   - DriverKernel — the paper's second scheme (§4): the guest runs an
+//     RTOS whose device driver exchanges binary READ/WRITE messages with
+//     the kernel over a data socket, and receives interrupts over a
+//     second socket, with no GDB framing at all.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types of the Driver-Kernel protocol (§4.2).
+const (
+	MsgWrite = 1 // driver -> kernel: data for an iss_in port
+	MsgRead  = 2 // driver -> kernel: request the value of an iss_out port
+	MsgData  = 3 // kernel -> driver: reply to MsgRead
+)
+
+// Reserved interrupt ids on the interrupt socket (mirrors rtos).
+const (
+	IntDataReady = 0xfffffff0
+)
+
+// MaxMessageSize bounds a single protocol message.
+const MaxMessageSize = 1 << 16
+
+// Message is one Driver-Kernel protocol message. Port names select the
+// SystemC iss_in/iss_out port (the SC_Port field of Figure 4); Cycles is
+// the guest cycle counter at send time, used for time coupling.
+type Message struct {
+	Type   uint32
+	Cycles uint32 // WRITE/READ only
+	Port   string // WRITE/READ only
+	Data   []byte // WRITE/DATA only
+}
+
+// Encode renders the message in wire format:
+//
+//	WRITE: [size][type=1][cycles][namelen][name][datalen][data]
+//	READ:  [size][type=2][cycles][namelen][name]
+//	DATA:  [size][type=3][datalen][data]
+//
+// size counts the bytes following the size word.
+func (m Message) Encode() ([]byte, error) {
+	var body []byte
+	le := binary.LittleEndian
+	word := func(v uint32) { body = le.AppendUint32(body, v) }
+	switch m.Type {
+	case MsgWrite:
+		word(MsgWrite)
+		word(m.Cycles)
+		word(uint32(len(m.Port)))
+		body = append(body, m.Port...)
+		word(uint32(len(m.Data)))
+		body = append(body, m.Data...)
+	case MsgRead:
+		word(MsgRead)
+		word(m.Cycles)
+		word(uint32(len(m.Port)))
+		body = append(body, m.Port...)
+	case MsgData:
+		word(MsgData)
+		word(uint32(len(m.Data)))
+		body = append(body, m.Data...)
+	default:
+		return nil, fmt.Errorf("core: unknown message type %d", m.Type)
+	}
+	out := make([]byte, 4, 4+len(body))
+	le.PutUint32(out, uint32(len(body)))
+	return append(out, body...), nil
+}
+
+// ReadMessage decodes one message from the stream.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	le := binary.LittleEndian
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	size := le.Uint32(hdr[:])
+	if size < 4 || size > MaxMessageSize {
+		return Message{}, fmt.Errorf("core: bad message size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	var m Message
+	m.Type = le.Uint32(body[0:4])
+	rest := body[4:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("core: truncated message type %d", m.Type)
+		}
+		return nil
+	}
+	switch m.Type {
+	case MsgWrite, MsgRead:
+		if err := need(8); err != nil {
+			return Message{}, err
+		}
+		m.Cycles = le.Uint32(rest[0:4])
+		nameLen := le.Uint32(rest[4:8])
+		rest = rest[8:]
+		if err := need(int(nameLen)); err != nil {
+			return Message{}, err
+		}
+		m.Port = string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if m.Type == MsgWrite {
+			if err := need(4); err != nil {
+				return Message{}, err
+			}
+			dataLen := le.Uint32(rest[0:4])
+			rest = rest[4:]
+			if err := need(int(dataLen)); err != nil {
+				return Message{}, err
+			}
+			m.Data = append([]byte(nil), rest[:dataLen]...)
+		}
+	case MsgData:
+		if err := need(4); err != nil {
+			return Message{}, err
+		}
+		dataLen := le.Uint32(rest[0:4])
+		rest = rest[4:]
+		if err := need(int(dataLen)); err != nil {
+			return Message{}, err
+		}
+		m.Data = append([]byte(nil), rest[:dataLen]...)
+	default:
+		return Message{}, fmt.Errorf("core: unknown message type %d", m.Type)
+	}
+	return m, nil
+}
+
+// EncodeInterrupt renders an interrupt-socket notification (a 4-byte
+// little-endian id, as read by the guest driver).
+func EncodeInterrupt(id uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], id)
+	return b[:]
+}

@@ -1,0 +1,215 @@
+package dev
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CosimDev register offsets.
+const (
+	CosimTxByte  = 0x00 // WO: append one byte to the outgoing message
+	CosimTxWord  = 0x04 // WO: append 4 bytes (little-endian)
+	CosimTxFlush = 0x08 // WO: transmit the buffered message on the data socket
+	CosimRxByte  = 0x0c // RO: pop one received byte
+	CosimRxWord  = 0x10 // RO: pop 4 received bytes (little-endian)
+	CosimRxAvail = 0x14 // RO: received bytes available
+	CosimIntNum  = 0x18 // RO: oldest pending co-simulation interrupt id, NoInt if none
+	CosimIntAck  = 0x1c // WO: acknowledge the oldest pending interrupt
+	CosimRxIEn   = 0x20 // RW: bit0 = raise the PIC line while RX data is available
+	CosimDevSize = 0x24
+)
+
+// NoInt is returned by CosimIntNum when no interrupt is pending.
+const NoInt = 0xffffffff
+
+// CosimDev is the ISS-side end of the Driver-Kernel co-simulation
+// transport. The RTOS device driver composes the paper's READ/WRITE
+// messages and pushes them through this device onto the data socket
+// (port 4444 in the paper); interrupt notifications arriving on the
+// interrupt socket (port 4445) are queued here and asserted on the PIC.
+//
+// The device plays the role of the eCos synthetic target's host I/O
+// layer: the guest performs plain MMIO, the host side speaks sockets.
+// The device's PIC line is level-driven: it is held high while queued
+// interrupt ids are pending, or — when the guest enables CosimRxIEn —
+// while receive data is available. The RX-available level closes the
+// race between the interrupt socket and the data socket: a wakeup can
+// never be lost between "check availability" and "wait for interrupt".
+type CosimDev struct {
+	mu      sync.Mutex
+	tx      []byte
+	rx      []byte
+	ints    []uint32
+	rxIntEn bool
+
+	data io.Writer
+	pic  *PIC
+	line int
+
+	txMessages uint64
+	rxBytes    uint64
+}
+
+// NewCosimDev creates the bridge device asserting the given PIC line.
+func NewCosimDev(pic *PIC, line int) *CosimDev {
+	return &CosimDev{pic: pic, line: line}
+}
+
+// Name implements iss.Device.
+func (d *CosimDev) Name() string { return "cosim" }
+
+// Size implements iss.Device.
+func (d *CosimDev) Size() uint32 { return CosimDevSize }
+
+// refresh drives the PIC line from the device state; callers hold d.mu.
+func (d *CosimDev) refresh() {
+	if len(d.ints) > 0 || (d.rxIntEn && len(d.rx) > 0) {
+		d.pic.Assert(d.line)
+	} else {
+		d.pic.Deassert(d.line)
+	}
+}
+
+// ConnectData attaches the data socket. Writes flushed by the guest go
+// to w; bytes arriving on r become readable through CosimRxByte. The
+// read pump runs until r is exhausted.
+func (d *CosimDev) ConnectData(r io.Reader, w io.Writer) {
+	d.mu.Lock()
+	d.data = w
+	d.mu.Unlock()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				d.mu.Lock()
+				d.rx = append(d.rx, buf[:n]...)
+				d.rxBytes += uint64(n)
+				d.refresh()
+				d.mu.Unlock()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// ConnectIRQ attaches the interrupt socket: every 4-byte little-endian
+// interrupt id read from r is queued and asserted on the PIC line.
+func (d *CosimDev) ConnectIRQ(r io.Reader) {
+	go func() {
+		var b [4]byte
+		for {
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return
+			}
+			id := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+			d.mu.Lock()
+			d.ints = append(d.ints, id)
+			d.refresh()
+			d.mu.Unlock()
+		}
+	}()
+}
+
+// InjectRx appends bytes to the receive buffer directly (in-process
+// transports and tests).
+func (d *CosimDev) InjectRx(b []byte) {
+	d.mu.Lock()
+	d.rx = append(d.rx, b...)
+	d.rxBytes += uint64(len(b))
+	d.refresh()
+	d.mu.Unlock()
+}
+
+// InjectIRQ queues a co-simulation interrupt directly.
+func (d *CosimDev) InjectIRQ(id uint32) {
+	d.mu.Lock()
+	d.ints = append(d.ints, id)
+	d.refresh()
+	d.mu.Unlock()
+}
+
+// TxMessages returns how many messages the guest has flushed.
+func (d *CosimDev) TxMessages() uint64 { return d.txMessages }
+
+// Read implements iss.Device.
+func (d *CosimDev) Read(off uint32, size int) (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch off {
+	case CosimRxByte:
+		if len(d.rx) == 0 {
+			return 0, nil
+		}
+		v := uint32(d.rx[0])
+		d.rx = d.rx[1:]
+		d.refresh()
+		return v, nil
+	case CosimRxWord:
+		var v uint32
+		for i := 0; i < 4 && len(d.rx) > 0; i++ {
+			v |= uint32(d.rx[0]) << (8 * i)
+			d.rx = d.rx[1:]
+		}
+		d.refresh()
+		return v, nil
+	case CosimRxAvail:
+		return uint32(len(d.rx)), nil
+	case CosimIntNum:
+		if len(d.ints) == 0 {
+			return NoInt, nil
+		}
+		return d.ints[0], nil
+	case CosimRxIEn:
+		if d.rxIntEn {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("cosim: read of unknown register %#x", off)
+	}
+}
+
+// Write implements iss.Device.
+func (d *CosimDev) Write(off uint32, size int, v uint32) error {
+	d.mu.Lock()
+	switch off {
+	case CosimTxByte:
+		d.tx = append(d.tx, byte(v))
+		d.mu.Unlock()
+		return nil
+	case CosimTxWord:
+		d.tx = append(d.tx, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		d.mu.Unlock()
+		return nil
+	case CosimTxFlush:
+		out := d.tx
+		d.tx = nil
+		w := d.data
+		d.txMessages++
+		d.mu.Unlock()
+		if w == nil {
+			return fmt.Errorf("cosim: flush with no data connection")
+		}
+		_, err := w.Write(out)
+		return err
+	case CosimIntAck:
+		if len(d.ints) > 0 {
+			d.ints = d.ints[1:]
+		}
+		d.refresh()
+		d.mu.Unlock()
+		return nil
+	case CosimRxIEn:
+		d.rxIntEn = v&1 != 0
+		d.refresh()
+		d.mu.Unlock()
+		return nil
+	default:
+		d.mu.Unlock()
+		return fmt.Errorf("cosim: write to unknown register %#x", off)
+	}
+}

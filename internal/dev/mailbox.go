@@ -1,0 +1,80 @@
+package dev
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mailbox register offsets.
+const (
+	MBSend  = 0x00 // WO: push a word to the peer, raising its interrupt
+	MBRecv  = 0x04 // RO: pop a word from this side's queue
+	MBAvail = 0x08 // RO: words waiting
+	MBSize  = 0x0c
+)
+
+// Mailbox is one endpoint of a bidirectional inter-processor mailbox —
+// the kind of hardware block a multi-processor SoC uses for doorbells.
+// Words written to MBSend appear in the peer's receive queue and assert
+// the peer's PIC line.
+type Mailbox struct {
+	mu    *sync.Mutex
+	queue *[]uint32 // this side's receive queue
+	peerQ *[]uint32
+	pic   *PIC // this side's PIC (deasserted when queue drains)
+	line  int
+	peerP *PIC
+	peerL int
+}
+
+// NewMailboxPair creates the two endpoints of a mailbox connecting CPU A
+// (picA/lineA) and CPU B (picB/lineB).
+func NewMailboxPair(picA *PIC, lineA int, picB *PIC, lineB int) (*Mailbox, *Mailbox) {
+	var mu sync.Mutex
+	qa, qb := new([]uint32), new([]uint32)
+	a := &Mailbox{mu: &mu, queue: qa, peerQ: qb, pic: picA, line: lineA, peerP: picB, peerL: lineB}
+	b := &Mailbox{mu: &mu, queue: qb, peerQ: qa, pic: picB, line: lineB, peerP: picA, peerL: lineA}
+	return a, b
+}
+
+// Name implements iss.Device.
+func (m *Mailbox) Name() string { return "mailbox" }
+
+// Size implements iss.Device.
+func (m *Mailbox) Size() uint32 { return MBSize }
+
+// Read implements iss.Device.
+func (m *Mailbox) Read(off uint32, size int) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch off {
+	case MBRecv:
+		if len(*m.queue) == 0 {
+			return 0, nil
+		}
+		v := (*m.queue)[0]
+		*m.queue = (*m.queue)[1:]
+		if len(*m.queue) == 0 {
+			m.pic.Deassert(m.line)
+		}
+		return v, nil
+	case MBAvail:
+		return uint32(len(*m.queue)), nil
+	default:
+		return 0, fmt.Errorf("mailbox: read of unknown register %#x", off)
+	}
+}
+
+// Write implements iss.Device.
+func (m *Mailbox) Write(off uint32, size int, v uint32) error {
+	switch off {
+	case MBSend:
+		m.mu.Lock()
+		*m.peerQ = append(*m.peerQ, v)
+		m.mu.Unlock()
+		m.peerP.Assert(m.peerL)
+		return nil
+	default:
+		return fmt.Errorf("mailbox: write to unknown register %#x", off)
+	}
+}

@@ -1,0 +1,104 @@
+package dev
+
+import (
+	"io"
+
+	"cosim/internal/iss"
+)
+
+// Standard memory map of the FV32 platform.
+const (
+	PICBase     = 0xf0000000
+	TimerBase   = 0xf0001000
+	ConsoleBase = 0xf0002000
+	CosimBase   = 0xf0003000
+	MailboxBase = 0xf0004000
+)
+
+// DefaultRAMSize is the platform's default memory size.
+const DefaultRAMSize = 4 << 20
+
+// TickQuantum is the number of instructions executed between device
+// ticks; it bounds timer-interrupt jitter.
+const TickQuantum = 64
+
+// Platform bundles a CPU with the standard peripheral set at the
+// standard addresses — the "synthetic target" the RTOS runs on.
+type Platform struct {
+	CPU     *iss.CPU
+	RAM     *iss.RAM
+	Bus     *iss.SystemBus
+	PIC     *PIC
+	Timer   *Timer
+	Console *Console
+	Cosim   *CosimDev
+	Mailbox *Mailbox // optional, mapped by AttachMailbox
+}
+
+// NewPlatform builds a platform with the given RAM size (0 = default)
+// and optional console mirror writer.
+func NewPlatform(ramSize uint32, consoleMirror io.Writer) *Platform {
+	if ramSize == 0 {
+		ramSize = DefaultRAMSize
+	}
+	ram := iss.NewRAM(ramSize)
+	bus := iss.NewSystemBus(ram)
+	cpu := iss.New(bus)
+	p := &Platform{
+		CPU: cpu, RAM: ram, Bus: bus,
+		Console: NewConsole(consoleMirror),
+	}
+	p.PIC = NewPIC(cpu, 0)
+	p.Timer = NewTimer(p.PIC, TimerLine)
+	p.Cosim = NewCosimDev(p.PIC, CosimLine)
+	mustMap(bus, PICBase, p.PIC)
+	mustMap(bus, TimerBase, p.Timer)
+	mustMap(bus, ConsoleBase, p.Console)
+	mustMap(bus, CosimBase, p.Cosim)
+	return p
+}
+
+func mustMap(bus *iss.SystemBus, base uint32, d iss.Device) {
+	if err := bus.Map(base, d); err != nil {
+		panic(err)
+	}
+}
+
+// AttachMailbox maps a mailbox endpoint at the standard base.
+func (p *Platform) AttachMailbox(m *Mailbox) {
+	p.Mailbox = m
+	mustMap(p.Bus, MailboxBase, m)
+}
+
+// Run executes up to budget instructions, ticking cycle-driven devices
+// every TickQuantum instructions so timer interrupts track simulated
+// time. It returns the CPU's stop reason and instructions executed.
+func (p *Platform) Run(budget uint64) (iss.Stop, uint64) {
+	var total uint64
+	for total < budget {
+		chunk := uint64(TickQuantum)
+		if rest := budget - total; rest < chunk {
+			chunk = rest
+		}
+		before := p.CPU.Cycles()
+		stop, n := p.CPU.Run(chunk)
+		total += n
+		p.Timer.Advance(p.CPU.Cycles() - before)
+		if stop == StopKeepGoing {
+			continue
+		}
+		if stop == iss.StopIdle {
+			// WFI: simulated time would pass while the core sleeps; let
+			// the timer keep running so its interrupt can wake the CPU.
+			if p.Timer.ctrl&TimerCtrlEnable != 0 && !p.Timer.irqOn && p.Timer.compare > p.Timer.count {
+				p.Timer.Advance(p.Timer.compare - p.Timer.count)
+				continue
+			}
+		}
+		return stop, total
+	}
+	return StopKeepGoing, total
+}
+
+// StopKeepGoing aliases iss.StopBudget for readability at this layer.
+const StopKeepGoing = iss.StopBudget

@@ -1,0 +1,91 @@
+package dev
+
+import "fmt"
+
+// Timer register offsets.
+const (
+	TimerCount   = 0x00 // RO: current cycle count
+	TimerCompare = 0x04 // RW: match value
+	TimerReload  = 0x08 // RW: auto re-arm interval (0 = one-shot)
+	TimerCtrl    = 0x0c // RW: bit0 = enable
+	TimerAck     = 0x10 // WO: acknowledge interrupt
+	TimerSize    = 0x14
+)
+
+// TimerCtrlEnable is the enable bit in the control register.
+const TimerCtrlEnable = 1 << 0
+
+// Timer is a cycle-driven compare timer raising a PIC line. The platform
+// advances it with the CPU's consumed cycles, so timer interrupts line
+// up with simulated time rather than host time — the RTOS uses it for
+// its preemptive tick.
+type Timer struct {
+	count   uint64
+	compare uint64
+	reload  uint64
+	ctrl    uint32
+	irqOn   bool
+	pic     *PIC
+	line    int
+}
+
+// NewTimer creates a timer driving the given PIC line.
+func NewTimer(pic *PIC, line int) *Timer {
+	return &Timer{pic: pic, line: line}
+}
+
+// Name implements iss.Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Size implements iss.Device.
+func (t *Timer) Size() uint32 { return TimerSize }
+
+// Advance moves simulated time forward by the given cycle count,
+// asserting the interrupt line on compare match.
+func (t *Timer) Advance(cycles uint64) {
+	if t.ctrl&TimerCtrlEnable == 0 {
+		return
+	}
+	t.count += cycles
+	if !t.irqOn && t.compare != 0 && t.count >= t.compare {
+		t.irqOn = true
+		t.pic.Assert(t.line)
+	}
+}
+
+// Read implements iss.Device.
+func (t *Timer) Read(off uint32, size int) (uint32, error) {
+	switch off {
+	case TimerCount:
+		return uint32(t.count), nil
+	case TimerCompare:
+		return uint32(t.compare), nil
+	case TimerReload:
+		return uint32(t.reload), nil
+	case TimerCtrl:
+		return t.ctrl, nil
+	default:
+		return 0, fmt.Errorf("timer: read of unknown register %#x", off)
+	}
+}
+
+// Write implements iss.Device.
+func (t *Timer) Write(off uint32, size int, v uint32) error {
+	switch off {
+	case TimerCompare:
+		t.compare = uint64(v)
+	case TimerReload:
+		t.reload = uint64(v)
+	case TimerCtrl:
+		t.ctrl = v
+	case TimerAck:
+		t.irqOn = false
+		t.pic.Deassert(t.line)
+		if t.reload != 0 {
+			t.compare = t.count + t.reload
+		}
+	default:
+		return fmt.Errorf("timer: write to unknown register %#x", off)
+	}
+	return nil
+}

@@ -1,0 +1,624 @@
+package gdb
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cosim/internal/asm"
+	"cosim/internal/iss"
+)
+
+func TestChecksumAndEscape(t *testing.T) {
+	if checksum([]byte("OK")) != 0x9a {
+		t.Fatalf("checksum(OK) = %#x", checksum([]byte("OK")))
+	}
+	in := []byte("a$b#c}d*e")
+	esc := escape(in)
+	for _, forbidden := range []byte{'$', '#', '*'} {
+		for i, c := range esc {
+			if c == forbidden && (i == 0 || esc[i-1] != 0x7d) {
+				t.Fatalf("unescaped %q in %q", string(forbidden), esc)
+			}
+		}
+	}
+	if got := unescape(esc); !bytes.Equal(got, in) {
+		t.Fatalf("unescape(escape(%q)) = %q", in, got)
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(unescape(escape(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := hexDecode(hexEncode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	g := func(v uint32) bool {
+		got, err := parseU32LE(hexU32LE(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportPacketRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ta, tb := newTransport(a), newTransport(b)
+	go func() {
+		_ = ta.sendPacket([]byte("m1000,4"))
+	}()
+	pkt, err := tb.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt) != "m1000,4" {
+		t.Fatalf("pkt = %q", pkt)
+	}
+	if tb.stats.PacketsRecv != 1 {
+		t.Fatalf("stats = %+v", tb.stats)
+	}
+}
+
+func TestTransportChecksumRejection(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	tb := newTransport(b)
+	go func() {
+		// Corrupt checksum first, then a valid packet after the NAK.
+		_, _ = a.Write([]byte("$OK#00"))
+		buf := make([]byte, 1)
+		_, _ = a.Read(buf) // expect '-'
+		if buf[0] != '-' {
+			t.Errorf("expected NAK, got %q", buf)
+		}
+		_, _ = a.Write([]byte("$OK#9a"))
+		_, _ = a.Read(buf) // consume '+'
+	}()
+	pkt, err := tb.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt) != "OK" {
+		t.Fatalf("pkt = %q", pkt)
+	}
+}
+
+// newTarget assembles a program and serves it over an in-memory pipe,
+// returning a connected client.
+func newTarget(t *testing.T, src string, buffered bool) (*Client, *iss.CPU, *asm.Image) {
+	t.Helper()
+	im, err := asm.Assemble(asm.Options{DataBase: 0x10000}, asm.Source{Name: "t.s", Text: src})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	ram := iss.NewRAM(1 << 20)
+	if err := im.LoadInto(ram); err != nil {
+		t.Fatal(err)
+	}
+	cpu := iss.New(iss.NewSystemBus(ram))
+	cpu.Reset(im.Entry)
+
+	host, target := net.Pipe()
+	stub := NewStub(cpu, target)
+	stub.ChunkBudget = 1000
+	go func() {
+		_ = stub.Serve()
+		target.Close()
+	}()
+	cl := NewClient(host, ClientOptions{UseReaderGoroutine: buffered})
+	t.Cleanup(func() { _ = cl.Kill(); host.Close() })
+	return cl, cpu, im
+}
+
+const testProg = `
+_start:
+    addi a0, zero, 1
+work:
+    addi a0, a0, 10
+after:
+    addi a0, a0, 100
+    halt
+.data
+var: .word 0xCAFEBABE
+`
+
+func TestHandshakeAndHaltReason(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	feat, err := cl.QuerySupported()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(feat), []byte("PacketSize")) {
+		t.Fatalf("features = %q", feat)
+	}
+	ev, err := cl.HaltReason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Signal != 5 {
+		t.Fatalf("signal = %d", ev.Signal)
+	}
+}
+
+func TestReadWriteRegisters(t *testing.T) {
+	cl, cpu, _ := newTarget(t, testProg, false)
+	cpu.Regs[10] = 0x12345678
+	regs, err := cl.ReadRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs.GPR[10] != 0x12345678 {
+		t.Fatalf("a0 = %#x", regs.GPR[10])
+	}
+	if regs.PC != cpu.PC {
+		t.Fatalf("pc = %#x, want %#x", regs.PC, cpu.PC)
+	}
+	if err := cl.WriteRegister(11, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Regs[11] != 0xdead {
+		t.Fatalf("a1 = %#x", cpu.Regs[11])
+	}
+	v, err := cl.ReadRegister(10)
+	if err != nil || v != 0x12345678 {
+		t.Fatalf("p reply = %#x, %v", v, err)
+	}
+}
+
+func TestReadWriteMemory(t *testing.T) {
+	cl, _, im := newTarget(t, testProg, false)
+	addr := im.MustSymbol("var")
+	data, err := cl.ReadMemory(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0xbe || data[3] != 0xca {
+		t.Fatalf("var = % x", data)
+	}
+	if err := cl.WriteMemory(addr, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := cl.ReadMemory(addr, 4)
+	if !bytes.Equal(back, []byte{1, 2, 3, 4}) {
+		t.Fatalf("after write = % x", back)
+	}
+}
+
+func TestSoftwareBreakpointRoundTrip(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("after")
+	if err := cl.SetBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	// Planted EBREAK must be hidden from memory reads.
+	visible, err := cl.ReadMemory(bp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := cpu.Bus().Read(bp, 4)
+	var rawBytes [4]byte
+	for i := range rawBytes {
+		rawBytes[i] = byte(raw >> (8 * i))
+	}
+	if bytes.Equal(visible, rawBytes[:]) {
+		t.Fatal("planted breakpoint visible in memory read")
+	}
+
+	if err := cl.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := cl.WaitStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Signal != 5 {
+		t.Fatalf("signal = %d", ev.Signal)
+	}
+	pc, _ := cl.ReadPC()
+	if pc != bp {
+		t.Fatalf("stopped at %#x, want %#x", pc, bp)
+	}
+	if cpu.Regs[10] != 11 {
+		t.Fatalf("a0 = %d at breakpoint", cpu.Regs[10])
+	}
+
+	// Resume to completion: stub must step over the planted breakpoint.
+	if err := cl.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = cl.WaitStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Exited || ev.ExitCode != 0 {
+		t.Fatalf("final stop = %+v", ev)
+	}
+	if cpu.Regs[10] != 111 {
+		t.Fatalf("final a0 = %d", cpu.Regs[10])
+	}
+}
+
+func TestClearBreakpoint(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("after")
+	orig, _ := cpu.Bus().Read(bp, 4)
+	if err := cl.SetBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ClearBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := cpu.Bus().Read(bp, 4)
+	if restored != orig {
+		t.Fatalf("memory not restored: %#x vs %#x", restored, orig)
+	}
+	_ = cl.Continue()
+	ev, _ := cl.WaitStop()
+	if !ev.Exited {
+		t.Fatalf("stop = %+v", ev)
+	}
+}
+
+func TestHardwareBreakpoint(t *testing.T) {
+	cl, _, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("work")
+	if err := cl.SetHWBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.Continue()
+	ev, err := cl.WaitStop()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("stop = %+v, %v", ev, err)
+	}
+	pc, _ := cl.ReadPC()
+	if pc != bp {
+		t.Fatalf("pc = %#x", pc)
+	}
+}
+
+func TestStep(t *testing.T) {
+	cl, cpu, _ := newTarget(t, testProg, false)
+	ev, err := cl.Step()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("step = %+v, %v", ev, err)
+	}
+	if cpu.PC != 4 || cpu.Regs[10] != 1 {
+		t.Fatalf("pc=%#x a0=%d after one step", cpu.PC, cpu.Regs[10])
+	}
+}
+
+func TestStepOffPlantedBreakpoint(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("work")
+	_ = cl.SetBreakpoint(bp)
+	_ = cl.Continue()
+	if _, err := cl.WaitStop(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := cl.Step()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("step = %+v, %v", ev, err)
+	}
+	if cpu.Regs[10] != 11 {
+		t.Fatalf("a0 = %d: breakpointed instruction did not execute", cpu.Regs[10])
+	}
+}
+
+func TestWatchpointReply(t *testing.T) {
+	cl, _, im := newTarget(t, `
+_start:
+    la   gp, target
+    addi a0, zero, 9
+    sw   a0, 0(gp)
+    halt
+.data
+target: .word 0
+`, false)
+	wa := im.MustSymbol("target")
+	if err := cl.SetWatchpoint(wa, 4); err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.Continue()
+	ev, err := cl.WaitStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.IsWatch || ev.WatchAddr != wa {
+		t.Fatalf("stop = %+v", ev)
+	}
+	if err := cl.ClearWatchpoint(wa); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterruptBreakIn(t *testing.T) {
+	cl, _, _ := newTarget(t, `
+_start:
+spin:
+    j spin
+`, false)
+	if err := cl.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := cl.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := cl.WaitStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Signal != 2 {
+		t.Fatalf("signal = %d, want SIGINT", ev.Signal)
+	}
+}
+
+func TestRunQuantumLockStep(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("after")
+	_ = cl.SetBreakpoint(bp)
+	// Drive the target one instruction per quantum, as the GDB-Wrapper
+	// scheme does per clock cycle.
+	quanta := 0
+	for {
+		ev, _, err := cl.RunQuantum(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quanta++
+		if ev != nil {
+			if ev.Signal != 5 {
+				t.Fatalf("signal = %d", ev.Signal)
+			}
+			break
+		}
+		if quanta > 100 {
+			t.Fatal("breakpoint never reached")
+		}
+	}
+	pc, _ := cl.ReadPC()
+	if pc != bp {
+		t.Fatalf("pc = %#x, want %#x", pc, bp)
+	}
+	if cpu.Regs[10] != 11 {
+		t.Fatalf("a0 = %d", cpu.Regs[10])
+	}
+	// Resuming over the planted breakpoint with further quanta must
+	// execute the program to completion.
+	for {
+		ev, _, err := cl.RunQuantum(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			if !ev.Exited {
+				t.Fatalf("stop = %+v", ev)
+			}
+			break
+		}
+	}
+	if cpu.Regs[10] != 111 {
+		t.Fatalf("final a0 = %d", cpu.Regs[10])
+	}
+}
+
+func TestRunQuantumReportsExecuted(t *testing.T) {
+	cl, _, _ := newTarget(t, `
+_start:
+spin:
+    j spin
+`, false)
+	ev, n, err := cl.RunQuantum(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != nil {
+		t.Fatalf("unexpected stop %+v", ev)
+	}
+	if n != 25 {
+		t.Fatalf("executed = %d, want 25", n)
+	}
+}
+
+func TestBufferedModeFullSession(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, true)
+	bp := im.MustSymbol("after")
+	if err := cl.SetBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ev, stopped, err := cl.PollStop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stopped {
+			if ev.Signal != 5 {
+				t.Fatalf("signal = %d", ev.Signal)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never stopped")
+		}
+	}
+	v, err := cl.ReadMemory(im.MustSymbol("var"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0xbe {
+		t.Fatalf("var = % x", v)
+	}
+	_ = cl.Continue()
+	ev, err := cl.WaitStop()
+	if err != nil || !ev.Exited {
+		t.Fatalf("final = %+v, %v", ev, err)
+	}
+	if cpu.Regs[10] != 111 {
+		t.Fatalf("a0 = %d", cpu.Regs[10])
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	im, err := asm.Assemble(asm.Options{}, asm.Source{Name: "t.s", Text: testProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram := iss.NewRAM(1 << 20)
+	_ = im.LoadInto(ram)
+	cpu := iss.New(iss.NewSystemBus(ram))
+	cpu.Reset(im.Entry)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		stub := NewStub(cpu, conn)
+		_ = stub.Serve()
+		conn.Close()
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn, ClientOptions{})
+	defer func() { _ = cl.Kill(); conn.Close() }()
+
+	bp := im.MustSymbol("after")
+	if err := cl.SetBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.Continue()
+	ev, err := cl.WaitStop()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("tcp stop = %+v, %v", ev, err)
+	}
+	cyc, err := cl.Cycles()
+	if err != nil || cyc == 0 {
+		t.Fatalf("cycles = %d, %v", cyc, err)
+	}
+}
+
+func TestParseStop(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StopEvent
+	}{
+		{"S05", StopEvent{Signal: 5}},
+		{"S02", StopEvent{Signal: 2}},
+		{"W00", StopEvent{Exited: true}},
+		{"W2a", StopEvent{Exited: true, ExitCode: 42}},
+		{"T05watch:10004;", StopEvent{Signal: 5, IsWatch: true, WatchAddr: 0x10004}},
+		{"T05swbreak:;", StopEvent{Signal: 5}},
+	}
+	for _, c := range cases {
+		got, err := parseStop([]byte(c.in))
+		if err != nil {
+			t.Errorf("parseStop(%q): %v", c.in, err)
+			continue
+		}
+		if *got != c.want {
+			t.Errorf("parseStop(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "S", "Q05", "Sxx"} {
+		if _, err := parseStop([]byte(bad)); err == nil {
+			t.Errorf("parseStop(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestUnknownPacketGetsEmptyReply(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	r, err := cl.transact([]byte("vMustReplyEmpty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 0 {
+		t.Fatalf("reply = %q, want empty", r)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	if err := cl.Detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandRLE(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"abc", "abc"},
+		{"0* ", "0000"},                    // ' ' = 32 -> 3 extra zeros
+		{"x*!", "xxxxx"},                   // '!' = 33 -> 4 extra
+		{"ab*\x1dc", "abc"},                // count 0: no extra repeats
+		{"1*&2*&", "11111111112222222222"}, // '&' = 38 -> 9 extra repeats
+	}
+	for _, c := range cases {
+		got, err := expandRLE([]byte(c.in))
+		if err != nil {
+			t.Errorf("expandRLE(%q): %v", c.in, err)
+			continue
+		}
+		if string(got) != c.want {
+			t.Errorf("expandRLE(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"*!", "a*"} {
+		if _, err := expandRLE([]byte(bad)); err == nil {
+			t.Errorf("expandRLE(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRLEThroughTransport(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	tb := newTransport(b)
+	go func() {
+		// "g0* " expands to "g0000"; checksum is over the wire form.
+		payload := []byte("g0* ")
+		frame := append([]byte{'$'}, payload...)
+		sum := checksum(payload)
+		frame = append(frame, '#', hexDigits[sum>>4], hexDigits[sum&0xf])
+		_, _ = a.Write(frame)
+		buf := make([]byte, 1)
+		_, _ = a.Read(buf) // ack
+	}()
+	pkt, err := tb.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt) != "g0000" {
+		t.Fatalf("pkt = %q", pkt)
+	}
+}

@@ -1,0 +1,321 @@
+// Package gdb implements the GDB Remote Serial Protocol (RSP): the
+// "$data#checksum" packet framing, a target-side stub that debugs an
+// iss.CPU, and a host-side client offering typed debugging operations.
+//
+// The paper's GDB-Wrapper and GDB-Kernel co-simulation schemes use this
+// interface between the SystemC side and the ISS, exactly as [14]
+// proposed gdb's remote debugging primitives as the standard ISS
+// integration interface. The protocol is implemented at the wire level
+// (escaping, acknowledgements, retransmission) so its costs are real.
+package gdb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// InterruptByte is the out-of-band break-in character (Ctrl-C).
+const InterruptByte = 0x03
+
+// MaxPacketSize is the advertised maximum payload size.
+const MaxPacketSize = 4096
+
+// ErrInterrupt is returned by readPacket when the peer sends the
+// break-in byte instead of a packet.
+var ErrInterrupt = errors.New("gdb: interrupt received")
+
+// checksum computes the RSP modulo-256 sum.
+func checksum(b []byte) byte {
+	var s byte
+	for _, c := range b {
+		s += c
+	}
+	return s
+}
+
+// escape applies RSP escaping to the payload ($, #, } and * are
+// represented as 0x7d followed by the character xored with 0x20).
+func escape(b []byte) []byte {
+	var out []byte
+	for _, c := range b {
+		switch c {
+		case '$', '#', '}', '*':
+			out = append(out, 0x7d, c^0x20)
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// unescape reverses escape.
+func unescape(b []byte) []byte {
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		if b[i] == 0x7d && i+1 < len(b) {
+			i++
+			out = append(out, b[i]^0x20)
+		} else {
+			out = append(out, b[i])
+		}
+	}
+	return out
+}
+
+// Stats counts protocol traffic, used by the benchmark harness to
+// attribute co-simulation overhead.
+type Stats struct {
+	PacketsSent uint64
+	PacketsRecv uint64
+	BytesSent   uint64
+	BytesRecv   uint64
+	Retransmits uint64
+}
+
+// transport frames packets over an io.ReadWriter with acknowledgement
+// handling. It is used by both the stub and the client.
+type transport struct {
+	rw io.ReadWriter
+	br *bufio.Reader
+
+	writeMu sync.Mutex
+	stats   Stats
+}
+
+func newTransport(rw io.ReadWriter) *transport {
+	return &transport{rw: rw, br: bufio.NewReaderSize(rw, MaxPacketSize)}
+}
+
+// sendPacket writes one framed packet and waits for the peer's ack.
+// On '-' (NAK) it retransmits, up to a small retry bound.
+func (t *transport) sendPacket(payload []byte) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	esc := escape(payload)
+	frame := make([]byte, 0, len(esc)+4)
+	frame = append(frame, '$')
+	frame = append(frame, esc...)
+	frame = append(frame, '#')
+	frame = append(frame, hexDigits[checksum(esc)>>4], hexDigits[checksum(esc)&0xf])
+
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := t.rw.Write(frame); err != nil {
+			return err
+		}
+		t.stats.PacketsSent++
+		t.stats.BytesSent += uint64(len(frame))
+		ack, err := t.br.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch ack {
+		case '+':
+			return nil
+		case '-':
+			t.stats.Retransmits++
+			continue
+		default:
+			// Not an ack (e.g. an interrupt raced in); push back and
+			// treat the packet as delivered.
+			_ = t.br.UnreadByte()
+			return nil
+		}
+	}
+	return errors.New("gdb: too many retransmissions")
+}
+
+// sendReplyNoAckWait writes a packet without waiting for the ack byte;
+// the ack is consumed lazily by the next read. Used by the stub for
+// asynchronous stop replies so it cannot deadlock against a peer that
+// polls.
+func (t *transport) sendReplyNoAckWait(payload []byte) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	esc := escape(payload)
+	frame := make([]byte, 0, len(esc)+4)
+	frame = append(frame, '$')
+	frame = append(frame, esc...)
+	frame = append(frame, '#')
+	frame = append(frame, hexDigits[checksum(esc)>>4], hexDigits[checksum(esc)&0xf])
+	if _, err := t.rw.Write(frame); err != nil {
+		return err
+	}
+	t.stats.PacketsSent++
+	t.stats.BytesSent += uint64(len(frame))
+	return nil
+}
+
+// readPacket reads one packet payload, acknowledging it. Stray acks are
+// skipped. The interrupt byte surfaces as ErrInterrupt.
+func (t *transport) readPacket() ([]byte, error) {
+	for {
+		c, err := t.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch c {
+		case '+', '-':
+			continue // ack for a no-ack-wait send, or line noise
+		case InterruptByte:
+			return nil, ErrInterrupt
+		case '$':
+		default:
+			continue
+		}
+
+		var body []byte
+		for {
+			c, err := t.br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if c == '#' {
+				break
+			}
+			body = append(body, c)
+			if len(body) > MaxPacketSize*2 {
+				return nil, errors.New("gdb: oversized packet")
+			}
+		}
+		var sum [2]byte
+		if _, err := io.ReadFull(t.br, sum[:]); err != nil {
+			return nil, err
+		}
+		want, err := parseHexByte(sum[0], sum[1])
+		if err != nil {
+			return nil, err
+		}
+		if checksum(body) != want {
+			if _, err := t.rw.Write([]byte{'-'}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := t.rw.Write([]byte{'+'}); err != nil {
+			return nil, err
+		}
+		t.stats.PacketsRecv++
+		t.stats.BytesRecv += uint64(len(body) + 4)
+		expanded, err := expandRLE(body)
+		if err != nil {
+			return nil, err
+		}
+		return unescape(expanded), nil
+	}
+}
+
+// expandRLE decodes RSP run-length encoding: "c*N" repeats c a further
+// N-29 times (N is a printable byte > 28). Escaped '*' bytes are
+// protected by the 0x7d escape, so every raw '*' is an RLE marker.
+// This implementation never produces RLE but accepts it, as any RSP
+// peer must.
+func expandRLE(b []byte) ([]byte, error) {
+	if !bytesContains(b, '*') {
+		return b, nil
+	}
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c == 0x7d && i+1 < len(b) {
+			out = append(out, c, b[i+1])
+			i++
+			continue
+		}
+		if c != '*' {
+			out = append(out, c)
+			continue
+		}
+		if len(out) == 0 || i+1 >= len(b) {
+			return nil, errors.New("gdb: malformed run-length encoding")
+		}
+		n := int(b[i+1]) - 29
+		i++
+		if n < 0 {
+			return nil, errors.New("gdb: bad run-length count")
+		}
+		rep := out[len(out)-1]
+		for j := 0; j < n; j++ {
+			out = append(out, rep)
+		}
+		if len(out) > MaxPacketSize*4 {
+			return nil, errors.New("gdb: run-length expansion too large")
+		}
+	}
+	return out, nil
+}
+
+func bytesContains(b []byte, c byte) bool {
+	for _, x := range b {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+const hexDigits = "0123456789abcdef"
+
+func parseHexByte(hi, lo byte) (byte, error) {
+	h, err1 := hexVal(hi)
+	l, err2 := hexVal(lo)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("gdb: bad hex byte %c%c", hi, lo)
+	}
+	return h<<4 | l, nil
+}
+
+func hexVal(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("gdb: bad hex digit %q", string(c))
+}
+
+// hexEncode renders bytes as lowercase hex.
+func hexEncode(b []byte) []byte {
+	out := make([]byte, 2*len(b))
+	for i, c := range b {
+		out[2*i] = hexDigits[c>>4]
+		out[2*i+1] = hexDigits[c&0xf]
+	}
+	return out
+}
+
+// hexDecode parses hex back to bytes.
+func hexDecode(b []byte) ([]byte, error) {
+	if len(b)%2 != 0 {
+		return nil, errors.New("gdb: odd-length hex")
+	}
+	out := make([]byte, len(b)/2)
+	for i := range out {
+		v, err := parseHexByte(b[2*i], b[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// hexU32 renders a 32-bit value as 8 hex digits (target byte order:
+// little-endian, per RSP register conventions).
+func hexU32LE(v uint32) []byte {
+	return hexEncode([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// parseU32LE decodes 8 hex digits of little-endian register data.
+func parseU32LE(b []byte) (uint32, error) {
+	raw, err := hexDecode(b)
+	if err != nil || len(raw) != 4 {
+		return 0, fmt.Errorf("gdb: bad register hex %q", b)
+	}
+	return uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24, nil
+}

@@ -1,0 +1,67 @@
+package gdb
+
+import "io"
+
+// pumpReader decouples reading from the connection: a goroutine drains
+// the underlying reader into a channel, so consumers get both blocking
+// reads (io.Reader) and a non-blocking readability check. The stub uses
+// it to poll for break-in bytes while the CPU runs without relying on
+// platform deadline semantics.
+type pumpReader struct {
+	ch  chan []byte
+	cur []byte
+	err error
+}
+
+func newPumpReader(r io.Reader) *pumpReader {
+	p := &pumpReader{ch: make(chan []byte, 16)}
+	go func() {
+		for {
+			buf := make([]byte, 512)
+			n, err := r.Read(buf)
+			if n > 0 {
+				p.ch <- buf[:n]
+			}
+			if err != nil {
+				close(p.ch)
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Read implements io.Reader (blocking).
+func (p *pumpReader) Read(b []byte) (int, error) {
+	for len(p.cur) == 0 {
+		chunk, ok := <-p.ch
+		if !ok {
+			if p.err == nil {
+				p.err = io.EOF
+			}
+			return 0, p.err
+		}
+		p.cur = chunk
+	}
+	n := copy(b, p.cur)
+	p.cur = p.cur[n:]
+	return n, nil
+}
+
+// Readable reports, without blocking, whether a Read would return data
+// immediately.
+func (p *pumpReader) Readable() bool {
+	if len(p.cur) > 0 {
+		return true
+	}
+	select {
+	case chunk, ok := <-p.ch:
+		if !ok {
+			return false
+		}
+		p.cur = chunk
+		return len(p.cur) > 0
+	default:
+		return false
+	}
+}

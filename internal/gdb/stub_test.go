@@ -1,0 +1,235 @@
+package gdb
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"cosim/internal/isa"
+)
+
+func netPipe() (net.Conn, net.Conn) { return net.Pipe() }
+
+// BreakWordForTest exposes the EBREAK encoding for shadow tests.
+func BreakWordForTest() uint32 { return isa.BreakpointWord }
+
+func TestWriteAllRegisters(t *testing.T) {
+	cl, cpu, _ := newTarget(t, testProg, false)
+	// Compose a G packet: read, tweak, write back.
+	regs, err := cl.ReadRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload []byte
+	payload = append(payload, 'G')
+	for i := 0; i < NumRSPRegs; i++ {
+		var v uint32
+		switch {
+		case i < 32:
+			v = uint32(i * 3)
+		case i == RegPC:
+			v = regs.PC
+		}
+		payload = append(payload, hexU32LE(v)...)
+	}
+	r, err := cl.transact(payload)
+	if err != nil || string(r) != "OK" {
+		t.Fatalf("G reply = %q, %v", r, err)
+	}
+	if cpu.Regs[5] != 15 || cpu.Regs[31] != 93 {
+		t.Fatalf("regs after G: r5=%d r31=%d", cpu.Regs[5], cpu.Regs[31])
+	}
+	if cpu.Regs[0] != 0 {
+		t.Fatal("G packet overwrote the zero register")
+	}
+}
+
+func TestMemoryWriteOverPlantedBreakpoint(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	bp := im.MustSymbol("after")
+	orig, _ := cpu.Bus().Read(bp, 4)
+	if err := cl.SetBreakpoint(bp); err != nil {
+		t.Fatal(err)
+	}
+	// Writing the same original bytes over the planted word must keep
+	// the breakpoint armed and update the shadow.
+	var origBytes [4]byte
+	for i := range origBytes {
+		origBytes[i] = byte(orig >> (8 * i))
+	}
+	if err := cl.WriteMemory(bp, origBytes[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Memory still holds EBREAK (breakpoint survives the write)...
+	raw, _ := cpu.Bus().Read(bp, 4)
+	if decoded, err := decodeWord(raw); err != nil || decoded != "ebreak" {
+		t.Fatalf("memory at bp = %#x", raw)
+	}
+	// ...and the breakpoint still fires.
+	_ = cl.Continue()
+	ev, err := cl.WaitStop()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("stop = %+v, %v", ev, err)
+	}
+}
+
+func decodeWord(w uint32) (string, error) {
+	if w == 0 {
+		return "", nil
+	}
+	// tiny helper via isa through the stub's planted word
+	if w == BreakWordForTest() {
+		return "ebreak", nil
+	}
+	return "other", nil
+}
+
+func TestHaltReasonAfterStop(t *testing.T) {
+	cl, _, im := newTarget(t, testProg, false)
+	_ = cl.SetBreakpoint(im.MustSymbol("work"))
+	_ = cl.Continue()
+	if _, err := cl.WaitStop(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := cl.HaltReason()
+	if err != nil || ev.Signal != 5 {
+		t.Fatalf("halt reason = %+v, %v", ev, err)
+	}
+}
+
+func TestRegisterWriteChangesPC(t *testing.T) {
+	cl, cpu, im := newTarget(t, testProg, false)
+	target := im.MustSymbol("after")
+	if err := cl.WriteRegister(RegPC, target); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.PC != target {
+		t.Fatalf("pc = %#x", cpu.PC)
+	}
+	// Continue from the redirected PC: program runs addi+halt only.
+	_ = cl.Continue()
+	ev, _ := cl.WaitStop()
+	if !ev.Exited {
+		t.Fatalf("stop = %+v", ev)
+	}
+	if cpu.Regs[10] != 100 {
+		t.Fatalf("a0 = %d, want 100 (skipped the earlier adds)", cpu.Regs[10])
+	}
+}
+
+func TestBadPacketsGetErrors(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	for _, pkt := range []string{"p999", "mzzzz,4", "M100", "Zx", "qRun,0", "P5"} {
+		r, err := cl.transact([]byte(pkt))
+		if err != nil {
+			t.Fatalf("%q: %v", pkt, err)
+		}
+		if len(r) > 0 && r[0] == 'E' {
+			continue // error reply, good
+		}
+		if len(r) == 0 {
+			continue // unsupported, acceptable
+		}
+		t.Errorf("packet %q got non-error reply %q", pkt, r)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	before := cl.Stats()
+	if _, err := cl.ReadRegisters(); err != nil {
+		t.Fatal(err)
+	}
+	after := cl.Stats()
+	if after.PacketsSent != before.PacketsSent+1 || after.PacketsRecv != before.PacketsRecv+1 {
+		t.Fatalf("stats did not advance: %+v -> %+v", before, after)
+	}
+	if after.BytesSent == 0 || after.BytesRecv == 0 {
+		t.Fatal("byte counters empty")
+	}
+}
+
+func TestRetransmitOnNAK(t *testing.T) {
+	// A transport facing a peer that NAKs once must retransmit.
+	clientEnd, stubEnd := pipePair()
+	defer clientEnd.Close()
+	defer stubEnd.Close()
+	tr := newTransport(clientEnd)
+	go func() {
+		buf := make([]byte, 256)
+		n, _ := stubEnd.Read(buf) // first copy
+		_, _ = stubEnd.Write([]byte{'-'})
+		n, _ = stubEnd.Read(buf) // retransmission
+		_ = n
+		_, _ = stubEnd.Write([]byte{'+'})
+	}()
+	if err := tr.sendPacket([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.stats.Retransmits != 1 {
+		t.Fatalf("retransmits = %d", tr.stats.Retransmits)
+	}
+}
+
+func TestOversizedPacketRejected(t *testing.T) {
+	clientEnd, stubEnd := pipePair()
+	defer clientEnd.Close()
+	defer stubEnd.Close()
+	tr := newTransport(clientEnd)
+	go func() {
+		_, _ = stubEnd.Write([]byte{'$'})
+		junk := bytes.Repeat([]byte{'a'}, MaxPacketSize*2+10)
+		_, _ = stubEnd.Write(junk)
+	}()
+	if _, err := tr.readPacket(); err == nil {
+		t.Fatal("oversized packet accepted")
+	}
+}
+
+// pipePair and BreakWordForTest are small indirections so the tests
+// avoid extra imports.
+func pipePair() (a, b interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}) {
+	x, y := netPipe()
+	return x, y
+}
+
+func TestTargetDescriptionXML(t *testing.T) {
+	cl, _, _ := newTarget(t, testProg, false)
+	feat, err := cl.QuerySupported()
+	if err != nil || !bytes.Contains([]byte(feat), []byte("qXfer:features:read+")) {
+		t.Fatalf("features = %q, %v", feat, err)
+	}
+	// Read the description in two windows and reassemble.
+	var xml []byte
+	off := 0
+	for {
+		r, err := cl.transact([]byte(fmt.Sprintf("qXfer:features:read:target.xml:%x,%x", off, 128)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) == 0 {
+			t.Fatal("empty qXfer reply")
+		}
+		xml = append(xml, r[1:]...)
+		off += len(r) - 1
+		if r[0] == 'l' {
+			break
+		}
+		if r[0] != 'm' {
+			t.Fatalf("bad marker %q", r[0])
+		}
+	}
+	for _, want := range []string{"<architecture>fv32</architecture>", `name="sp"`, `name="pc"`, `name="cycleh"`} {
+		if !bytes.Contains(xml, []byte(want)) {
+			t.Fatalf("target.xml missing %q:\n%s", want, xml)
+		}
+	}
+	if _, err := cl.transact([]byte("qXfer:features:read:target.xml:zz")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package harness assembles complete co-simulation scenarios of the
+// paper's case study — router, traffic, ISS guest, co-simulation scheme
+// — runs them, and reports the measurements behind Table 1 and
+// Figure 7.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cosim/internal/core"
+	"cosim/internal/dev"
+	"cosim/internal/iss"
+	"cosim/internal/router"
+	"cosim/internal/rtos"
+	"cosim/internal/sim"
+)
+
+// Scheme selects the co-simulation scheme under test.
+type Scheme int
+
+const (
+	// GDBWrapper is the state-of-the-art baseline of [14].
+	GDBWrapper Scheme = iota
+	// GDBKernel is the paper's first proposed scheme (§3).
+	GDBKernel
+	// DriverKernel is the paper's second proposed scheme (§4).
+	DriverKernel
+)
+
+// Schemes lists all schemes in the paper's presentation order.
+var Schemes = []Scheme{GDBWrapper, GDBKernel, DriverKernel}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case GDBWrapper:
+		return "GDB-Wrapper"
+	case GDBKernel:
+		return "GDB-Kernel"
+	case DriverKernel:
+		return "Driver-Kernel"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme resolves a scheme by (case-insensitive) name.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "gdb-wrapper", "wrapper":
+		return GDBWrapper, nil
+	case "gdb-kernel", "kernel":
+		return GDBKernel, nil
+	case "driver-kernel", "driver":
+		return DriverKernel, nil
+	}
+	return 0, fmt.Errorf("harness: unknown scheme %q", name)
+}
+
+// Params configures one co-simulation run of the router case study.
+type Params struct {
+	Scheme    Scheme
+	Transport core.Transport
+
+	// SimTime is the simulated duration to execute.
+	SimTime sim.Time
+	// ClockPeriod is the system clock (default 100ns).
+	ClockPeriod sim.Time
+	// CPUPeriod is the guest cycle length for time coupling (default
+	// 10ns). Zero disables cycle coupling.
+	CPUPeriod sim.Time
+	// SkewBound bounds how far simulated time may race past an
+	// in-flight ISS interaction (default 1us; see core). Zero =
+	// free-running.
+	SkewBound sim.Time
+	// InstrPerCycle is the GDB-Wrapper lock-step quantum (default 8).
+	InstrPerCycle uint64
+	// CPUs is the number of checksum processors servicing the router in
+	// parallel (default 1). Values > 1 are supported for the GDB-Kernel
+	// scheme — the multi-processor SoC configuration of the title.
+	CPUs int
+
+	// Traffic shape.
+	Delay            sim.Time // inter-packet delay per source
+	PayloadWords     int
+	ErrorRate        float64
+	MulticastRate    float64
+	FifoDepth        int
+	PacketsPerSource uint64 // 0 = unlimited
+	Seed             int64
+
+	// Trace, when set, receives a VCD of router occupancy.
+	Trace io.Writer
+	// Journal, when set, records every co-simulation transfer.
+	Journal *core.Journal
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.ClockPeriod == 0 {
+		p.ClockPeriod = 100 * sim.NS
+	}
+	if p.CPUPeriod == 0 {
+		p.CPUPeriod = 10 * sim.NS
+	}
+	if p.SkewBound == 0 {
+		p.SkewBound = sim.US
+	}
+	if p.InstrPerCycle == 0 {
+		p.InstrPerCycle = 8
+	}
+	if p.Delay == 0 {
+		p.Delay = 20 * sim.US
+	}
+	if p.PayloadWords == 0 {
+		p.PayloadWords = 4
+	}
+	if p.FifoDepth == 0 {
+		p.FifoDepth = 8
+	}
+	if p.SimTime == 0 {
+		p.SimTime = sim.MS
+	}
+	if p.CPUs == 0 {
+		p.CPUs = 1
+	}
+	return p
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Params Params
+
+	Wall      time.Duration
+	Simulated sim.Time
+
+	Generated uint64
+	Offered   uint64
+	InDrops   uint64
+	BadSent   uint64
+
+	Dequeued  uint64
+	Forwarded uint64
+	Corrupted uint64
+	OutDrops  uint64
+	Copies    uint64
+
+	Received   uint64
+	BadContent uint64
+	Misrouted  uint64
+	MeanLat    sim.Time
+
+	CoStats           core.Stats
+	GuestInstructions uint64
+	GuestCycles       uint64
+}
+
+// ForwardedPct is the y-axis of Figure 7: the percentage of generated
+// packets the router forwarded.
+func (r *Result) ForwardedPct() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return 100 * float64(r.Forwarded) / float64(r.Generated)
+}
+
+// Run executes one full co-simulation of the case study.
+func Run(p Params) (*Result, error) {
+	p = p.withDefaults()
+	k := sim.NewKernel("soc")
+	clk := sim.NewClock(k, "clk", p.ClockPeriod)
+
+	var (
+		statsFns []func() core.Stats
+		errFns   []func() error
+		cpus     []*iss.CPU
+		engines  []router.Engine
+		cleanup  []func()
+	)
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+
+	if p.CPUs > 1 && p.Scheme != GDBKernel {
+		return nil, fmt.Errorf("harness: multiple CPUs are supported with the GDB-Kernel scheme only")
+	}
+
+	switch p.Scheme {
+	case GDBWrapper, GDBKernel:
+		for n := 0; n < p.CPUs; n++ {
+			prefix := ""
+			if p.CPUs > 1 {
+				prefix = fmt.Sprintf("cpu%d.", n)
+			}
+			im, err := router.BuildGDBGuest()
+			if err != nil {
+				return nil, err
+			}
+			ram := iss.NewRAM(1 << 20)
+			if err := im.LoadInto(ram); err != nil {
+				return nil, err
+			}
+			cpu := iss.New(iss.NewSystemBus(ram))
+			cpu.Reset(im.Entry)
+			target, err := core.StartGDBTarget(cpu, p.Transport)
+			if err != nil {
+				return nil, err
+			}
+			if p.Scheme == GDBKernel {
+				g, err := core.NewGDBKernel(k, target.HostConn, im, core.GDBKernelOptions{
+					CPUPeriod: p.CPUPeriod,
+					SkewBound: p.SkewBound,
+					Bindings:  router.GDBBindingsPrefixed(prefix),
+					Journal:   p.Journal,
+				})
+				if err != nil {
+					return nil, err
+				}
+				statsFns = append(statsFns, g.Stats)
+				errFns = append(errFns, g.Err)
+			} else {
+				w, err := core.NewGDBWrapper(k, target.HostConn, im, core.GDBWrapperOptions{
+					Clock:         clk,
+					InstrPerCycle: p.InstrPerCycle,
+					Bindings:      router.GDBBindingsPrefixed(prefix),
+					Journal:       p.Journal,
+				})
+				if err != nil {
+					return nil, err
+				}
+				statsFns = append(statsFns, w.Stats)
+				errFns = append(errFns, w.Err)
+			}
+			cpus = append(cpus, cpu)
+			pktPort, _ := k.IssOutPort(prefix + router.PktPortName)
+			csumPort, _ := k.IssInPort(prefix + router.CsumPortName)
+			engines = append(engines, router.Engine{Pkt: pktPort, Csum: csumPort})
+		}
+
+	case DriverKernel:
+		im, err := router.BuildDriverGuest()
+		if err != nil {
+			return nil, err
+		}
+		plat := dev.NewPlatform(0, nil)
+		if err := im.LoadInto(plat.RAM); err != nil {
+			return nil, err
+		}
+		plat.CPU.Reset(im.Entry)
+		target, err := core.ConnectDriverTarget(plat, p.Transport)
+		if err != nil {
+			return nil, err
+		}
+		runner := rtos.NewRunner(plat)
+		runner.Start()
+		cleanup = append(cleanup, runner.Stop)
+		d, err := core.NewDriverKernel(k, target.DataHost, target.IRQHost, core.DriverKernelOptions{
+			CPUPeriod: p.CPUPeriod,
+			SkewBound: p.SkewBound,
+			Ports:     router.DriverPorts(),
+			Journal:   p.Journal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		statsFns = append(statsFns, d.Stats)
+		errFns = append(errFns, d.Err)
+		cpus = append(cpus, plat.CPU)
+		pktPort, _ := k.IssOutPort(router.PktPortName)
+		csumPort, _ := k.IssInPort(router.CsumPortName)
+		engines = append(engines, router.Engine{
+			Pkt:      pktPort,
+			Csum:     csumPort,
+			Doorbell: func() { d.RaiseInterrupt(router.IntNewPacket) },
+		})
+
+	default:
+		return nil, fmt.Errorf("harness: unknown scheme %v", p.Scheme)
+	}
+	cleanup = append(cleanup, k.Shutdown)
+
+	// Hardware side: the router, producers and consumers of Figure 6.
+	rt := router.New(k, "router", router.Config{FifoDepth: p.FifoDepth}, engines)
+
+	ids := &router.IDSource{}
+	producers := make([]*router.Producer, router.NumPorts)
+	consumers := make([]*router.Consumer, router.NumPorts)
+	for i := 0; i < router.NumPorts; i++ {
+		producers[i] = router.NewProducer(k, fmt.Sprintf("prod%d", i), uint8(i), rt.In[i], ids,
+			router.ProducerConfig{
+				Delay:         p.Delay,
+				PayloadWords:  p.PayloadWords,
+				ErrorRate:     p.ErrorRate,
+				MulticastRate: p.MulticastRate,
+				Count:         p.PacketsPerSource,
+				Seed:          p.Seed + 1,
+			})
+		consumers[i] = router.NewConsumer(k, fmt.Sprintf("cons%d", i), i, rt.Out[i], rt.RouteOK)
+	}
+
+	if p.Trace != nil {
+		tr := sim.NewTracer(k, p.Trace, "router")
+		for i := 0; i < router.NumPorts; i++ {
+			q := rt.In[i]
+			sim.TraceFunc(tr, fmt.Sprintf("in%d_occupancy", i), 8, func() uint64 { return uint64(q.Len()) })
+		}
+	}
+
+	start := time.Now()
+	err := k.Run(p.SimTime)
+	wall := time.Since(start)
+	if err != nil && err != sim.ErrDeadlock {
+		return nil, err
+	}
+	for _, errFn := range errFns {
+		if schemeErr := errFn(); schemeErr != nil {
+			return nil, schemeErr
+		}
+	}
+
+	res := &Result{
+		Params:    p,
+		Wall:      wall,
+		Simulated: k.Now(),
+	}
+	for _, fn := range statsFns {
+		st := fn()
+		res.CoStats.Transfers += st.Transfers
+		res.CoStats.Stops += st.Stops
+		res.CoStats.Polls += st.Polls
+		res.CoStats.Messages += st.Messages
+		res.CoStats.IntsNotified += st.IntsNotified
+	}
+	for _, cpu := range cpus {
+		res.GuestInstructions += cpu.Instructions()
+		res.GuestCycles += cpu.Cycles()
+	}
+	for _, pr := range producers {
+		res.Generated += pr.Generated
+		res.Offered += pr.Offered
+		res.InDrops += pr.InDrops
+		res.BadSent += pr.BadSent
+	}
+	rs := rt.Stats()
+	res.Dequeued, res.Forwarded, res.Corrupted, res.OutDrops = rs.Dequeued, rs.Forwarded, rs.Corrupted, rs.OutDrops
+	res.Copies = rs.Copies
+	var lat sim.Time
+	for _, cn := range consumers {
+		res.Received += cn.Received
+		res.BadContent += cn.BadContent
+		res.Misrouted += cn.Misrouted
+		lat += cn.TotalLat
+	}
+	if res.Received > 0 {
+		res.MeanLat = lat / sim.Time(res.Received)
+	}
+	return res, nil
+}

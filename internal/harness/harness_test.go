@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cosim/internal/core"
+	"cosim/internal/sim"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]Scheme{
+		"gdb-wrapper":   GDBWrapper,
+		"wrapper":       GDBWrapper,
+		"GDB-Kernel":    GDBKernel,
+		"kernel":        GDBKernel,
+		"driver-kernel": DriverKernel,
+		"Driver":        DriverKernel,
+	}
+	for in, want := range cases {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme(bogus) succeeded")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range Schemes {
+		if strings.HasPrefix(s.String(), "Scheme(") {
+			t.Errorf("scheme %d has no name", int(s))
+		}
+		back, err := ParseScheme(s.String())
+		if err != nil || back != s {
+			t.Errorf("round trip of %v failed", s)
+		}
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	// Flow conservation: generated = offered + input drops;
+	// dequeued = forwarded + corrupted + output drops;
+	// received <= forwarded (some may be in flight at sim end).
+	res, err := Run(Params{
+		Scheme:    GDBKernel,
+		Transport: core.TransportPipe,
+		SimTime:   2 * sim.MS,
+		Delay:     40 * sim.US,
+		ErrorRate: 0.2,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != res.Offered+res.InDrops {
+		t.Errorf("input conservation: %d != %d + %d", res.Generated, res.Offered, res.InDrops)
+	}
+	// At most one packet can be in service (awaiting its checksum) when
+	// the simulation ends.
+	inService := res.Dequeued - (res.Forwarded + res.Corrupted + res.OutDrops)
+	if inService > 1 {
+		t.Errorf("router conservation: %d dequeued vs %d+%d+%d completed",
+			res.Dequeued, res.Forwarded, res.Corrupted, res.OutDrops)
+	}
+	if res.Received > res.Forwarded {
+		t.Errorf("received %d > forwarded %d", res.Received, res.Forwarded)
+	}
+	if res.Corrupted == 0 || res.BadSent == 0 {
+		t.Errorf("error injection did not exercise the drop path: sent %d caught %d",
+			res.BadSent, res.Corrupted)
+	}
+	if res.Corrupted > res.BadSent {
+		t.Errorf("more corrupted caught (%d) than injected (%d)", res.Corrupted, res.BadSent)
+	}
+}
+
+func TestCorruptionAlwaysCaught(t *testing.T) {
+	// With bounded traffic, every injected corruption must be caught by
+	// the guest checksum by the end of the run.
+	res, err := Run(Params{
+		Scheme:           DriverKernel,
+		Transport:        core.TransportPipe,
+		SimTime:          5 * sim.MS,
+		Delay:            100 * sim.US,
+		ErrorRate:        0.3,
+		PacketsPerSource: 8,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BadSent == 0 {
+		t.Skip("no corruptions drawn at this seed")
+	}
+	if res.Corrupted != res.BadSent {
+		t.Fatalf("caught %d of %d injected corruptions", res.Corrupted, res.BadSent)
+	}
+	if res.BadContent != 0 {
+		t.Fatalf("%d corrupt packets reached a consumer", res.BadContent)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 sweep is slow")
+	}
+	simTimes := []sim.Time{sim.MS}
+	rows, err := Table1(simTimes, Params{
+		Transport: core.TransportPipe,
+		Delay:     50 * sim.US,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintTable1(&sb, simTimes, rows)
+	out := sb.String()
+	for _, want := range []string{"GDB-Wrapper", "GDB-Kernel", "Driver-Kernel", "speedup", "spd"} {
+		if !strings.Contains(out, "GDB-Wrapper") {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicTrafficAcrossSchemes(t *testing.T) {
+	// Same seed, same delay: every scheme must see the same generated
+	// traffic (the schemes differ in service, not in the workload).
+	var gen []uint64
+	for _, s := range Schemes {
+		res, err := Run(Params{
+			Scheme:    s,
+			Transport: core.TransportPipe,
+			SimTime:   sim.MS,
+			Delay:     50 * sim.US,
+			Seed:      21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen = append(gen, res.Generated)
+	}
+	if gen[0] != gen[1] || gen[1] != gen[2] {
+		t.Fatalf("generated traffic differs across schemes: %v", gen)
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	r := CountLoC()
+	if r.GDBAppLines == 0 || r.DrvAppLines == 0 || r.DriverLines == 0 || r.KernelLines == 0 {
+		t.Fatalf("LoC report has zeros: %+v", r)
+	}
+	// §5: the Driver-Kernel software side is roughly an order of
+	// magnitude larger (the paper reports 9x).
+	if r.SWSideFactor < 3 {
+		t.Fatalf("SW-side factor %.1f implausibly low", r.SWSideFactor)
+	}
+	var sb strings.Builder
+	PrintLoC(&sb, r)
+	if !strings.Contains(sb.String(), "overhead factor") {
+		t.Fatal("LoC print incomplete")
+	}
+}
+
+func TestVCDTraceOutput(t *testing.T) {
+	var sb strings.Builder
+	_, err := Run(Params{
+		Scheme:    GDBKernel,
+		Transport: core.TransportPipe,
+		SimTime:   sim.MS,
+		Delay:     50 * sim.US,
+		Seed:      1,
+		Trace:     &sb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"$timescale", "in0_occupancy", "$enddefinitions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q", want)
+		}
+	}
+}
+
+func TestMultiCPUScalesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-CPU sweep is slow")
+	}
+	// At a saturating inter-packet delay, doubling the checksum CPUs
+	// should raise the forwarded fraction substantially — the
+	// multi-processor SoC configuration of the paper's title.
+	run := func(cpus int) *Result {
+		res, err := Run(Params{
+			Scheme:    GDBKernel,
+			Transport: core.TransportPipe,
+			SimTime:   2 * sim.MS,
+			Delay:     3 * sim.US, // saturates a single CPU
+			CPUs:      cpus,
+			Seed:      8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	two := run(2)
+	t.Logf("1 CPU: %.1f%% forwarded; 2 CPUs: %.1f%%", one.ForwardedPct(), two.ForwardedPct())
+	if one.ForwardedPct() > 90 {
+		t.Skip("single CPU not saturated on this host; scaling not observable")
+	}
+	if two.Forwarded < one.Forwarded+one.Forwarded/2 {
+		t.Fatalf("2 CPUs forwarded %d, want >= 1.5x single-CPU %d", two.Forwarded, one.Forwarded)
+	}
+}
+
+func TestMultiCPURejectedForOtherSchemes(t *testing.T) {
+	_, err := Run(Params{Scheme: DriverKernel, CPUs: 2, SimTime: sim.MS})
+	if err == nil {
+		t.Fatal("multi-CPU accepted for Driver-Kernel")
+	}
+}
+
+func TestMulticastTraffic(t *testing.T) {
+	res, err := Run(Params{
+		Scheme:           GDBKernel,
+		Transport:        core.TransportPipe,
+		SimTime:          10 * sim.MS,
+		Delay:            200 * sim.US,
+		MulticastRate:    0.5,
+		PacketsPerSource: 10,
+		Seed:             13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BadContent != 0 || res.Misrouted != 0 {
+		t.Fatalf("integrity violated with multicast: %+v", res)
+	}
+	if res.Copies <= res.Forwarded {
+		t.Fatalf("copies %d <= forwarded %d: no multicast expansion happened",
+			res.Copies, res.Forwarded)
+	}
+	if res.Received != res.Copies {
+		t.Fatalf("received %d != copies %d", res.Received, res.Copies)
+	}
+}

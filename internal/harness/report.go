@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cosim/internal/router"
+	"cosim/internal/rtos"
+	"cosim/internal/sim"
+)
+
+// Table1Row is one cell row of the paper's Table 1: wall-clock
+// co-simulation time per scheme, for a set of simulated durations.
+type Table1Row struct {
+	Scheme Scheme
+	Wall   []time.Duration // one per simulated duration
+}
+
+// Table1 reproduces the paper's Table 1: for each scheme, the wall
+// clock time needed to co-simulate each simulated duration of the
+// router case study.
+func Table1(simTimes []sim.Time, base Params) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(Schemes))
+	for _, s := range Schemes {
+		row := Table1Row{Scheme: s}
+		for _, st := range simTimes {
+			p := base
+			p.Scheme = s
+			p.SimTime = st
+			res, err := Run(p)
+			if err != nil {
+				return nil, fmt.Errorf("%v @ %v: %w", s, st, err)
+			}
+			row.Wall = append(row.Wall, res.Wall)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1 in the paper's layout.
+func PrintTable1(w io.Writer, simTimes []sim.Time, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Simulation Performance Results (wall-clock per simulated time)\n")
+	fmt.Fprintf(w, "%-14s", "Scheme")
+	for _, st := range simTimes {
+		fmt.Fprintf(w, " %12s", st)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.Scheme)
+		for _, d := range r.Wall {
+			fmt.Fprintf(w, " %12s", d.Round(time.Millisecond/10))
+		}
+		fmt.Fprintln(w)
+	}
+	// Speedups relative to the GDB-Wrapper baseline, as discussed in §5.
+	if len(rows) == 3 {
+		for _, i := range []int{1, 2} {
+			fmt.Fprintf(w, "%-14s", rows[i].Scheme.String()+" spd")
+			for j := range rows[i].Wall {
+				if rows[i].Wall[j] > 0 {
+					fmt.Fprintf(w, " %11.2fx", float64(rows[0].Wall[j])/float64(rows[i].Wall[j]))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Figure7Point is one sample of Figure 7: forwarded percentage at a
+// given inter-packet delay, for the two proposed schemes.
+type Figure7Point struct {
+	Delay        sim.Time
+	GDBKernelPct float64
+	DriverPct    float64
+	GDBLat       sim.Time
+	DriverLat    sim.Time
+}
+
+// Figure7 reproduces the paper's Figure 7: % of packets forwarded vs
+// inter-packet delay for GDB-Kernel and Driver-Kernel. The OS overhead
+// of the Driver-Kernel guest (measured in actually executed
+// instructions) slows its checksum service, so its curve lies below
+// GDB-Kernel's at small delays.
+func Figure7(delays []sim.Time, base Params) ([]Figure7Point, error) {
+	points := make([]Figure7Point, 0, len(delays))
+	for _, d := range delays {
+		pt := Figure7Point{Delay: d}
+		for _, s := range []Scheme{GDBKernel, DriverKernel} {
+			p := base
+			p.Scheme = s
+			p.Delay = d
+			res, err := Run(p)
+			if err != nil {
+				return nil, fmt.Errorf("%v @ delay %v: %w", s, d, err)
+			}
+			if s == GDBKernel {
+				pt.GDBKernelPct = res.ForwardedPct()
+				pt.GDBLat = res.MeanLat
+			} else {
+				pt.DriverPct = res.ForwardedPct()
+				pt.DriverLat = res.MeanLat
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// PrintFigure7 renders the Figure 7 series as a table plus an ASCII
+// plot of the two curves.
+func PrintFigure7(w io.Writer, points []Figure7Point) {
+	fmt.Fprintln(w, "Figure 7: % packets forwarded vs inter-packet delay")
+	fmt.Fprintf(w, "%-12s %14s %14s %12s %12s\n", "delay", "GDB-Kernel %", "Driver-Kernel %", "lat(GDB)", "lat(Drv)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12s %14.1f %14.1f %12s %12s\n",
+			p.Delay, p.GDBKernelPct, p.DriverPct, p.GDBLat, p.DriverLat)
+	}
+	fmt.Fprintln(w)
+	// ASCII plot: one row per delay, 50 columns = 0..100%.
+	const cols = 50
+	fmt.Fprintln(w, "  (K = GDB-Kernel, D = Driver-Kernel, * = both)")
+	for _, p := range points {
+		line := make([]byte, cols+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		ki := int(p.GDBKernelPct / 100 * cols)
+		di := int(p.DriverPct / 100 * cols)
+		if ki > cols {
+			ki = cols
+		}
+		if di > cols {
+			di = cols
+		}
+		line[di] = 'D'
+		if ki == di {
+			line[ki] = '*'
+		} else {
+			line[ki] = 'K'
+		}
+		fmt.Fprintf(w, "%10s |%s|\n", p.Delay, string(line))
+	}
+}
+
+// LoCReport reproduces the code-size comparison of §5: the software
+// overhead of the Driver-Kernel scheme over the GDB-Kernel scheme. The
+// SW-side factor counts the guest application plus the device driver
+// and kernel support it requires (the paper's "factor 9x ... due to the
+// writing of a new driver").
+type LoCReport struct {
+	GDBAppLines  int // bare-metal application (GDB schemes)
+	DrvAppLines  int // RTOS application
+	DriverLines  int // co-simulation device driver
+	KernelLines  int // uKOS kernel
+	SWSideFactor float64
+}
+
+// CountLoC computes the report from the embedded guest sources.
+func CountLoC() LoCReport {
+	gdbApp, drvApp, driver := router.GuestLines()
+	kern, _ := rtos.KernelLines()
+	r := LoCReport{
+		GDBAppLines: gdbApp,
+		DrvAppLines: drvApp,
+		DriverLines: driver,
+		KernelLines: kern,
+	}
+	if gdbApp > 0 {
+		r.SWSideFactor = float64(drvApp+driver) / float64(gdbApp)
+	}
+	return r
+}
+
+// PrintLoC renders the code-size comparison.
+func PrintLoC(w io.Writer, r LoCReport) {
+	fmt.Fprintln(w, "Code size (source lines), §5 comparison:")
+	fmt.Fprintf(w, "  GDB schemes, software side:    %4d (bare-metal application)\n", r.GDBAppLines)
+	fmt.Fprintf(w, "  Driver-Kernel, software side:  %4d (application %d + driver %d)\n",
+		r.DrvAppLines+r.DriverLines, r.DrvAppLines, r.DriverLines)
+	fmt.Fprintf(w, "  uKOS kernel (shared RTOS):     %4d\n", r.KernelLines)
+	fmt.Fprintf(w, "  SW-side overhead factor:       %.1fx (paper reports ~9x)\n", r.SWSideFactor)
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"cosim/internal/core"
+	"cosim/internal/sim"
+)
+
+func TestSmokeAllSchemes(t *testing.T) {
+	for _, s := range Schemes {
+		res, err := Run(Params{
+			Scheme:    s,
+			Transport: core.TransportTCP,
+			SimTime:   2 * sim.MS,
+			Delay:     50 * sim.US,
+			Seed:      42,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		fmt.Printf("%-14s wall=%-12v gen=%d fwd=%d (%.1f%%) recv=%d corrupted=%d indrops=%d lat=%v instr=%d stats=%+v\n",
+			res.Params.Scheme, res.Wall, res.Generated, res.Forwarded, res.ForwardedPct(),
+			res.Received, res.Corrupted, res.InDrops, res.MeanLat, res.GuestInstructions, res.CoStats)
+		if res.Generated == 0 || res.Forwarded == 0 {
+			t.Fatalf("%v: no traffic forwarded: %+v", s, res)
+		}
+		if res.BadContent != 0 || res.Misrouted != 0 {
+			t.Fatalf("%v: integrity violation: %+v", s, res)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[uint8]string{
+		0: "zero", 1: "ra", 2: "sp", 3: "gp", 4: "s0", 9: "s5",
+		10: "a0", 15: "a5", 16: "t0", 27: "t11", 28: "k0", 30: "fp", 31: "at",
+	}
+	for r, want := range cases {
+		if got := RegName(r); got != want {
+			t.Errorf("RegName(%d) = %q, want %q", r, got, want)
+		}
+		if back, ok := RegByName(want); !ok || back != r {
+			t.Errorf("RegByName(%q) = %d,%v want %d", want, back, ok, r)
+		}
+	}
+	if r, ok := RegByName("r17"); !ok || r != 17 {
+		t.Errorf("RegByName(r17) = %d,%v", r, ok)
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName(bogus) succeeded")
+	}
+	if _, ok := RegByName("r32"); ok {
+		t.Error("RegByName(r32) succeeded")
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for o := Opcode(1); o < numOpcodes; o++ {
+		if got := OpcodeByName(o.Name()); got != o {
+			t.Errorf("OpcodeByName(%q) = %v, want %v", o.Name(), got, o)
+		}
+	}
+	if OpcodeByName("frobnicate") != BAD {
+		t.Error("unknown mnemonic did not map to BAD")
+	}
+}
+
+func TestEncodeDecodeAllOpcodes(t *testing.T) {
+	for o := Opcode(1); o < numOpcodes; o++ {
+		i := Inst{Op: o}
+		switch o.Format() {
+		case FmtR:
+			i.Rd, i.Rs1, i.Rs2 = 1, 2, 3
+		case FmtI:
+			i.Rd, i.Rs1 = 4, 5
+			switch o {
+			case LUI, ANDI, ORI, XORI:
+				i.Imm = 0xbeef
+			case SLLI, SRLI, SRAI:
+				i.Imm = 13
+			case MFSR, MTSR:
+				i.Imm = SREPC
+			default:
+				i.Imm = -42
+			}
+		case FmtB:
+			i.Rd, i.Rs1, i.Imm = 6, 7, -100
+		case FmtJ:
+			i.Rd, i.Imm = 1, 12345
+		}
+		w, err := Encode(i)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", i, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", i, err)
+		}
+		if back != i {
+			t.Fatalf("round trip: %+v -> %#x -> %+v", i, w, back)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Imm: 40000},
+		{Op: ADDI, Imm: -40000},
+		{Op: LUI, Imm: -1},
+		{Op: LUI, Imm: 0x10000},
+		{Op: SLLI, Imm: 32},
+		{Op: SRAI, Imm: -1},
+		{Op: MFSR, Imm: NumSRegs},
+		{Op: JAL, Imm: 1 << 21},
+		{Op: BEQ, Imm: 1 << 16},
+		{Op: BAD},
+	}
+	for _, i := range bad {
+		if _, err := Encode(i); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want range error", i)
+		}
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	illegal := []uint32{
+		0x00000000 | 999,       // R-type with undefined funct
+		uint32(0x3f) << 26,     // undefined primary opcode
+		uint32(0x30)<<26 | 500, // undefined system funct
+	}
+	for _, w := range illegal {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		o := Opcode(1 + rng.Intn(int(numOpcodes)-1))
+		i := Inst{Op: o}
+		switch o.Format() {
+		case FmtR:
+			i.Rd, i.Rs1, i.Rs2 = uint8(rng.Intn(32)), uint8(rng.Intn(32)), uint8(rng.Intn(32))
+		case FmtI:
+			i.Rd, i.Rs1 = uint8(rng.Intn(32)), uint8(rng.Intn(32))
+			switch o {
+			case LUI, ANDI, ORI, XORI:
+				i.Imm = int32(rng.Intn(0x10000))
+			case SLLI, SRLI, SRAI:
+				i.Imm = int32(rng.Intn(32))
+			case MFSR, MTSR:
+				i.Imm = int32(rng.Intn(NumSRegs))
+			default:
+				i.Imm = int32(rng.Intn(0x10000)) - 0x8000
+			}
+		case FmtB:
+			i.Rd, i.Rs1 = uint8(rng.Intn(32)), uint8(rng.Intn(32))
+			i.Imm = int32(rng.Intn(0x10000)) - 0x8000
+		case FmtJ:
+			i.Rd = uint8(rng.Intn(32))
+			i.Imm = int32(rng.Intn(1<<21)) - 1<<20
+		}
+		w, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(w)
+		return err == nil && back == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		i    Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 10, Rs1: 11, Rs2: 12}, "add a0, a1, a2"},
+		{Inst{Op: ADDI, Rd: 2, Rs1: 2, Imm: -16}, "addi sp, sp, -16"},
+		{Inst{Op: LW, Rd: 10, Rs1: 2, Imm: 8}, "lw a0, 8(sp)"},
+		{Inst{Op: SW, Rd: 1, Rs1: 2, Imm: 0}, "sw ra, 0(sp)"},
+		{Inst{Op: BEQ, Rd: 10, Rs1: 0, Imm: -2}, "beq a0, zero, -2"},
+		{Inst{Op: JAL, Rd: 1, Imm: 100}, "jal ra, 100"},
+		{Inst{Op: LUI, Rd: 10, Imm: 0x1234}, "lui a0, 4660"},
+		{Inst{Op: ECALL}, "ecall"},
+		{Inst{Op: MFSR, Rd: 10, Imm: 2}, "mfsr a0, 2"},
+		{Inst{Op: MTSR, Rs1: 10, Imm: 3}, "mtsr 3, a0"},
+	}
+	for _, c := range cases {
+		w := EncodeMust(c.i)
+		if got := Disassemble(w); got != c.want {
+			t.Errorf("Disassemble(%v) = %q, want %q", c.i, got, c.want)
+		}
+	}
+	if got := Disassemble(uint32(0x3f) << 26); !strings.HasPrefix(got, ".word") {
+		t.Errorf("illegal word disassembled as %q", got)
+	}
+}
+
+func TestBreakpointAndNopWords(t *testing.T) {
+	i, err := Decode(BreakpointWord)
+	if err != nil || i.Op != EBREAK {
+		t.Fatalf("BreakpointWord decodes to %v, %v", i, err)
+	}
+	n, err := Decode(NopWord)
+	if err != nil || n.Op != ADDI || n.Rd != 0 || n.Imm != 0 {
+		t.Fatalf("NopWord decodes to %v, %v", n, err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := signExtend(0xffff, 16); got != -1 {
+		t.Errorf("signExtend(0xffff,16) = %d", got)
+	}
+	if got := signExtend(0x7fff, 16); got != 32767 {
+		t.Errorf("signExtend(0x7fff,16) = %d", got)
+	}
+	if got := signExtend(0x100000, 21); got != -1048576 {
+		t.Errorf("signExtend(min21) = %d", got)
+	}
+}

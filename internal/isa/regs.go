@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Register ABI names. r0 is hardwired to zero; the remaining aliases
+// follow a conventional embedded ABI used by the assembler and RTOS.
+const (
+	RegZero = 0  // always reads 0
+	RegRA   = 1  // return address
+	RegSP   = 2  // stack pointer
+	RegGP   = 3  // global pointer
+	RegS0   = 4  // saved s0..s5 = r4..r9
+	RegA0   = 10 // arguments/returns a0..a5 = r10..r15
+	RegT0   = 16 // temporaries t0..t11 = r16..r27
+	RegK0   = 28 // kernel scratch k0, k1 = r28, r29
+	RegFP   = 30 // frame pointer
+	RegAT   = 31 // assembler temporary
+)
+
+var regNames = func() [NumRegs]string {
+	var n [NumRegs]string
+	n[0] = "zero"
+	n[1] = "ra"
+	n[2] = "sp"
+	n[3] = "gp"
+	for i := 0; i < 6; i++ {
+		n[RegS0+i] = "s" + strconv.Itoa(i)
+		n[RegA0+i] = "a" + strconv.Itoa(i)
+	}
+	for i := 0; i < 12; i++ {
+		n[RegT0+i] = "t" + strconv.Itoa(i)
+	}
+	n[28] = "k0"
+	n[29] = "k1"
+	n[30] = "fp"
+	n[31] = "at"
+	return n
+}()
+
+// RegName returns the ABI name of register r ("zero", "sp", "a0", ...).
+func RegName(r uint8) string {
+	if int(r) < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", r)
+}
+
+// RegByName resolves a register by ABI name or by raw "rN" syntax.
+func RegByName(name string) (uint8, bool) {
+	name = strings.ToLower(name)
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if strings.HasPrefix(name, "r") {
+		if v, err := strconv.Atoi(name[1:]); err == nil && v >= 0 && v < NumRegs {
+			return uint8(v), true
+		}
+	}
+	return 0, false
+}

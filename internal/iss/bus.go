@@ -1,0 +1,202 @@
+// Package iss implements a cycle-based instruction-set simulator for the
+// FV32 architecture (internal/isa). It models the processor, a sparse
+// RAM, and a memory-mapped I/O bus to which device models
+// (internal/dev) attach. The CPU supports hardware breakpoints, write
+// watchpoints, external interrupt lines and a configurable CPI table —
+// everything the co-simulation schemes of the paper need from an ISS.
+package iss
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BusError describes a failed memory access.
+type BusError struct {
+	Addr  uint32
+	Size  int
+	Write bool
+	Why   string
+}
+
+func (e *BusError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("iss: bus error: %s of %d bytes at %#08x: %s", dir, e.Size, e.Addr, e.Why)
+}
+
+// Bus is the CPU's view of memory: byte-addressed loads and stores of
+// 1, 2 or 4 bytes. Values are little-endian.
+type Bus interface {
+	Read(addr uint32, size int) (uint32, error)
+	Write(addr uint32, size int, v uint32) error
+}
+
+// pageSize is the RAM allocation granule.
+const pageSize = 4096
+
+// RAM is sparse little-endian memory: pages are allocated on first
+// touch, so a 4 GiB address space costs only what is used.
+type RAM struct {
+	pages map[uint32][]byte
+	limit uint32 // exclusive upper bound; 0 means no limit
+}
+
+// NewRAM creates a RAM covering [0, size). A size of 0 means the full
+// 32-bit space.
+func NewRAM(size uint32) *RAM {
+	return &RAM{pages: make(map[uint32][]byte), limit: size}
+}
+
+// Size returns the configured size (0 = unbounded).
+func (r *RAM) Size() uint32 { return r.limit }
+
+func (r *RAM) page(addr uint32, alloc bool) []byte {
+	key := addr / pageSize
+	p := r.pages[key]
+	if p == nil && alloc {
+		p = make([]byte, pageSize)
+		r.pages[key] = p
+	}
+	return p
+}
+
+func (r *RAM) check(addr uint32, size int) error {
+	if size != 1 && size != 2 && size != 4 {
+		return &BusError{Addr: addr, Size: size, Why: "bad access size"}
+	}
+	if r.limit != 0 && (addr >= r.limit || addr+uint32(size) > r.limit) {
+		return &BusError{Addr: addr, Size: size, Why: "beyond RAM"}
+	}
+	return nil
+}
+
+// Read implements Bus. Accesses may straddle page boundaries.
+func (r *RAM) Read(addr uint32, size int) (uint32, error) {
+	if err := r.check(addr, size); err != nil {
+		return 0, err
+	}
+	var v uint32
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		p := r.page(a, false)
+		var b byte
+		if p != nil {
+			b = p[a%pageSize]
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write implements Bus.
+func (r *RAM) Write(addr uint32, size int, v uint32) error {
+	if err := r.check(addr, size); err != nil {
+		return err
+	}
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		r.page(a, true)[a%pageSize] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// LoadBytes copies raw bytes into RAM at addr (program loading).
+func (r *RAM) LoadBytes(addr uint32, data []byte) error {
+	for i, b := range data {
+		if err := r.Write(addr+uint32(i), 1, uint32(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes out of RAM.
+func (r *RAM) ReadBytes(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := r.Read(addr+uint32(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Device is a memory-mapped peripheral model. Offsets are relative to
+// the device's mapping base.
+type Device interface {
+	Name() string
+	Size() uint32
+	Read(off uint32, size int) (uint32, error)
+	Write(off uint32, size int, v uint32) error
+}
+
+// mapping binds a device to a base address.
+type mapping struct {
+	base uint32
+	dev  Device
+}
+
+// SystemBus routes accesses to RAM or to mapped devices. Device regions
+// take precedence over RAM.
+type SystemBus struct {
+	ram  *RAM
+	maps []mapping // sorted by base
+}
+
+// NewSystemBus creates a bus backed by the given RAM.
+func NewSystemBus(ram *RAM) *SystemBus {
+	return &SystemBus{ram: ram}
+}
+
+// RAM returns the backing RAM (for program loading and debugger pokes).
+func (b *SystemBus) RAM() *RAM { return b.ram }
+
+// Map attaches a device at the given base address. Overlapping regions
+// are rejected.
+func (b *SystemBus) Map(base uint32, dev Device) error {
+	end := base + dev.Size()
+	if end < base {
+		return fmt.Errorf("iss: device %s wraps the address space", dev.Name())
+	}
+	for _, m := range b.maps {
+		mEnd := m.base + m.dev.Size()
+		if base < mEnd && m.base < end {
+			return fmt.Errorf("iss: device %s overlaps %s", dev.Name(), m.dev.Name())
+		}
+	}
+	b.maps = append(b.maps, mapping{base, dev})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+// find returns the device covering addr, if any.
+func (b *SystemBus) find(addr uint32) (mapping, bool) {
+	i := sort.Search(len(b.maps), func(i int) bool {
+		return b.maps[i].base+b.maps[i].dev.Size() > addr
+	})
+	if i < len(b.maps) && addr >= b.maps[i].base {
+		return b.maps[i], true
+	}
+	return mapping{}, false
+}
+
+// Read implements Bus.
+func (b *SystemBus) Read(addr uint32, size int) (uint32, error) {
+	if m, ok := b.find(addr); ok {
+		return m.dev.Read(addr-m.base, size)
+	}
+	return b.ram.Read(addr, size)
+}
+
+// Write implements Bus.
+func (b *SystemBus) Write(addr uint32, size int, v uint32) error {
+	if m, ok := b.find(addr); ok {
+		return m.dev.Write(addr-m.base, size, v)
+	}
+	return b.ram.Write(addr, size, v)
+}

@@ -1,0 +1,282 @@
+package iss
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cosim/internal/isa"
+)
+
+// Stop describes why CPU.Run returned.
+type Stop int
+
+const (
+	// StopBudget: the instruction budget was exhausted; the CPU is
+	// still runnable.
+	StopBudget Stop = iota
+	// StopBreak: the CPU is stopped at a hardware breakpoint (PC is the
+	// breakpoint address, the instruction has not executed).
+	StopBreak
+	// StopEBreak: an EBREAK instruction was reached (PC is the EBREAK
+	// address) — the stop reason seen for GDB software breakpoints.
+	StopEBreak
+	// StopWatch: a write watchpoint fired (the store has executed).
+	StopWatch
+	// StopHalt: a HALT instruction executed; the CPU is finished.
+	StopHalt
+	// StopEcall: an ECALL executed with no trap vector and no host
+	// syscall handler.
+	StopEcall
+	// StopIdle: a WFI executed with no pending enabled interrupt; the
+	// CPU sleeps until an IRQ is raised.
+	StopIdle
+	// StopError: an unrecoverable fault (bus error or illegal
+	// instruction with no trap vector installed).
+	StopError
+)
+
+// String implements fmt.Stringer.
+func (s Stop) String() string {
+	switch s {
+	case StopBudget:
+		return "budget"
+	case StopBreak:
+		return "breakpoint"
+	case StopEBreak:
+		return "ebreak"
+	case StopWatch:
+		return "watchpoint"
+	case StopHalt:
+		return "halt"
+	case StopEcall:
+		return "ecall"
+	case StopIdle:
+		return "idle"
+	case StopError:
+		return "error"
+	}
+	return fmt.Sprintf("stop(%d)", int(s))
+}
+
+// CPIModel assigns a cycle cost per instruction class, making the ISS
+// "cycle-based" in the sense used by the paper.
+type CPIModel struct {
+	Default uint64 // simple ALU, jumps
+	Load    uint64
+	Store   uint64
+	Mul     uint64
+	Div     uint64
+	Branch  uint64 // taken branch penalty included
+	Trap    uint64 // trap/interrupt entry
+}
+
+// DefaultCPI is a plausible small-core cost model.
+var DefaultCPI = CPIModel{Default: 1, Load: 2, Store: 2, Mul: 3, Div: 16, Branch: 2, Trap: 4}
+
+// SyscallHandler services ECALL instructions in bare-metal (hosted)
+// mode, when no trap vector is installed. It may modify CPU state.
+// Returning false stops the CPU with StopEcall.
+type SyscallHandler func(c *CPU) bool
+
+// CPU is one FV32 processor core.
+type CPU struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	SR   [isa.NumSRegs]uint32
+
+	bus    Bus
+	cpi    CPIModel
+	cycles uint64
+	icount uint64
+
+	halted   bool
+	sleeping bool // in WFI
+
+	irqPending uint32 // atomic bitmask of raised IRQ lines
+	irqEnabled uint32 // mask of enabled lines (set via PIC or directly)
+	wakeCh     chan struct{}
+
+	breakpoints map[uint32]struct{}
+	watchpoints map[uint32]uint32 // addr -> length
+	stepOverBP  bool              // execute one instruction ignoring the bp at PC
+
+	Syscall SyscallHandler
+
+	profile *Profile
+
+	lastWatchAddr uint32
+}
+
+// New creates a CPU attached to the bus, with all interrupt lines
+// enabled and the default CPI model.
+func New(bus Bus) *CPU {
+	return &CPU{
+		bus:         bus,
+		cpi:         DefaultCPI,
+		irqEnabled:  0xff,
+		breakpoints: make(map[uint32]struct{}),
+		watchpoints: make(map[uint32]uint32),
+		wakeCh:      make(chan struct{}, 1),
+	}
+}
+
+// SetCPI replaces the cycle cost model.
+func (c *CPU) SetCPI(m CPIModel) { c.cpi = m }
+
+// Bus returns the CPU's memory bus.
+func (c *CPU) Bus() Bus { return c.bus }
+
+// Cycles returns the consumed cycle count.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// Instructions returns the executed instruction count.
+func (c *CPU) Instructions() uint64 { return c.icount }
+
+// Halted reports whether a HALT instruction has executed.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Sleeping reports whether the CPU is parked in WFI.
+func (c *CPU) Sleeping() bool { return c.sleeping }
+
+// Reset returns the CPU to its power-on state, keeping breakpoints.
+func (c *CPU) Reset(pc uint32) {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.SR = [isa.NumSRegs]uint32{}
+	c.PC = pc
+	c.cycles, c.icount = 0, 0
+	c.halted, c.sleeping, c.stepOverBP = false, false, false
+	atomic.StoreUint32(&c.irqPending, 0)
+}
+
+// --- breakpoints / watchpoints -------------------------------------------
+
+// AddBreakpoint arms a hardware breakpoint at addr.
+func (c *CPU) AddBreakpoint(addr uint32) { c.breakpoints[addr] = struct{}{} }
+
+// RemoveBreakpoint disarms the breakpoint at addr.
+func (c *CPU) RemoveBreakpoint(addr uint32) { delete(c.breakpoints, addr) }
+
+// HasBreakpoint reports whether a breakpoint is armed at addr.
+func (c *CPU) HasBreakpoint(addr uint32) bool {
+	_, ok := c.breakpoints[addr]
+	return ok
+}
+
+// AddWatchpoint arms a write watchpoint on [addr, addr+length).
+func (c *CPU) AddWatchpoint(addr, length uint32) { c.watchpoints[addr] = length }
+
+// RemoveWatchpoint disarms the watchpoint at addr.
+func (c *CPU) RemoveWatchpoint(addr uint32) { delete(c.watchpoints, addr) }
+
+// WatchHit returns the address whose watchpoint fired last.
+func (c *CPU) WatchHit() uint32 { return c.lastWatchAddr }
+
+// StepOverBreakpoint arms the CPU to execute the instruction at the
+// current PC even if a hardware breakpoint is set there; used by
+// debuggers when single-stepping off a stop.
+func (c *CPU) StepOverBreakpoint() { c.stepOverBP = true }
+
+// watchTriggered checks a store against the watchpoint set.
+func (c *CPU) watchTriggered(addr uint32, size int) bool {
+	for wa, wl := range c.watchpoints {
+		if addr < wa+wl && wa < addr+uint32(size) {
+			c.lastWatchAddr = wa
+			return true
+		}
+	}
+	return false
+}
+
+// --- interrupts -----------------------------------------------------------
+
+// RaiseIRQ asserts external interrupt line n. Safe to call from any
+// goroutine (this is how the SystemC side injects interrupts).
+func (c *CPU) RaiseIRQ(n int) {
+	if n < 0 || n >= isa.NumIRQ {
+		return
+	}
+	for {
+		old := atomic.LoadUint32(&c.irqPending)
+		if atomic.CompareAndSwapUint32(&c.irqPending, old, old|1<<uint(n)) {
+			// Wake a host loop parked on WakeChan (WFI idling).
+			select {
+			case c.wakeCh <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// WakeChan is signalled whenever an interrupt line is raised; host run
+// loops use it to sleep efficiently while the CPU idles in WFI.
+func (c *CPU) WakeChan() <-chan struct{} { return c.wakeCh }
+
+// ClearIRQ deasserts line n (level-triggered model: devices clear on ack).
+func (c *CPU) ClearIRQ(n int) {
+	if n < 0 || n >= isa.NumIRQ {
+		return
+	}
+	for {
+		old := atomic.LoadUint32(&c.irqPending)
+		if atomic.CompareAndSwapUint32(&c.irqPending, old, old&^(1<<uint(n))) {
+			return
+		}
+	}
+}
+
+// PendingIRQ returns the pending mask (enabled lines only).
+func (c *CPU) PendingIRQ() uint32 {
+	return atomic.LoadUint32(&c.irqPending) & c.irqEnabled
+}
+
+// SetIRQMask sets the enabled interrupt line mask.
+func (c *CPU) SetIRQMask(mask uint32) { c.irqEnabled = mask }
+
+// interruptsOn reports whether the global interrupt-enable bit is set.
+func (c *CPU) interruptsOn() bool { return c.SR[isa.SRStatus]&isa.StatusIE != 0 }
+
+// takeIRQ vectors the CPU into the trap handler for IRQ line n.
+func (c *CPU) takeIRQ(n int) {
+	c.trap(uint32(isa.CauseIRQBase + n))
+}
+
+// trap enters the trap vector with the given cause. EPC holds the PC of
+// the next instruction to resume.
+func (c *CPU) trap(cause uint32) {
+	st := c.SR[isa.SRStatus]
+	pie := (st & isa.StatusIE) << 1 // IE -> PIE position
+	c.SR[isa.SRStatus] = (st &^ (isa.StatusIE | isa.StatusPIE)) | pie
+	c.SR[isa.SREPC] = c.PC
+	c.SR[isa.SRCause] = cause
+	c.PC = c.SR[isa.SRIVec]
+	c.sleeping = false
+	c.cycles += c.cpi.Trap
+}
+
+// eret returns from a trap: restore IE from PIE, jump to EPC.
+func (c *CPU) eret() {
+	st := c.SR[isa.SRStatus]
+	ie := (st & isa.StatusPIE) >> 1
+	c.SR[isa.SRStatus] = (st &^ isa.StatusIE) | ie
+	c.PC = c.SR[isa.SREPC]
+}
+
+// checkIRQ takes the highest-priority pending enabled interrupt if the
+// global enable bit allows it. Returns true if a trap was taken.
+func (c *CPU) checkIRQ() bool {
+	if !c.interruptsOn() {
+		return false
+	}
+	pend := c.PendingIRQ()
+	if pend == 0 {
+		return false
+	}
+	for n := 0; n < isa.NumIRQ; n++ {
+		if pend&(1<<uint(n)) != 0 {
+			c.takeIRQ(n)
+			return true
+		}
+	}
+	return false
+}

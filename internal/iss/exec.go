@@ -1,0 +1,363 @@
+package iss
+
+import (
+	"cosim/internal/isa"
+)
+
+// setReg writes a register, keeping r0 hardwired to zero.
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}
+
+// Step executes one instruction (or takes one pending trap) and returns
+// the stop condition. StopBudget means "executed fine, keep going".
+func (c *CPU) Step() Stop {
+	if c.halted {
+		return StopHalt
+	}
+	if c.sleeping {
+		if c.PendingIRQ() == 0 {
+			return StopIdle
+		}
+		c.sleeping = false
+	}
+	if c.checkIRQ() {
+		return StopBudget // trap taken; handler runs on subsequent steps
+	}
+	if _, bp := c.breakpoints[c.PC]; bp && !c.stepOverBP {
+		return StopBreak
+	}
+
+	if c.PC%isa.Word != 0 {
+		return c.fault(isa.CauseAlign)
+	}
+	w, err := c.bus.Read(c.PC, 4)
+	if err != nil {
+		return c.fault(isa.CauseAlign)
+	}
+	inst, derr := isa.Decode(w)
+	if derr != nil {
+		return c.fault(isa.CauseIllegal)
+	}
+
+	c.stepOverBP = false
+	return c.exec(inst)
+}
+
+// fault routes a synchronous fault to the trap vector if one is
+// installed, else stops the CPU.
+func (c *CPU) fault(cause uint32) Stop {
+	if c.SR[isa.SRIVec] != 0 {
+		c.trap(cause)
+		return StopBudget
+	}
+	return StopError
+}
+
+// exec performs one decoded instruction. On return, PC points at the
+// next instruction to execute unless the CPU stopped.
+func (c *CPU) exec(i isa.Inst) Stop {
+	cost := c.cpi.Default
+	next := c.PC + isa.Word
+
+	rs1 := c.Regs[i.Rs1]
+	rs2 := c.Regs[i.Rs2]
+	imm := uint32(i.Imm)
+
+	switch i.Op {
+	// --- R-type ALU ---
+	case isa.ADD:
+		c.setReg(i.Rd, rs1+rs2)
+	case isa.SUB:
+		c.setReg(i.Rd, rs1-rs2)
+	case isa.AND:
+		c.setReg(i.Rd, rs1&rs2)
+	case isa.OR:
+		c.setReg(i.Rd, rs1|rs2)
+	case isa.XOR:
+		c.setReg(i.Rd, rs1^rs2)
+	case isa.NOR:
+		c.setReg(i.Rd, ^(rs1 | rs2))
+	case isa.SLL:
+		c.setReg(i.Rd, rs1<<(rs2&31))
+	case isa.SRL:
+		c.setReg(i.Rd, rs1>>(rs2&31))
+	case isa.SRA:
+		c.setReg(i.Rd, uint32(int32(rs1)>>(rs2&31)))
+	case isa.SLT:
+		c.setReg(i.Rd, boolTo(int32(rs1) < int32(rs2)))
+	case isa.SLTU:
+		c.setReg(i.Rd, boolTo(rs1 < rs2))
+	case isa.MUL:
+		cost = c.cpi.Mul
+		c.setReg(i.Rd, rs1*rs2)
+	case isa.MULH:
+		cost = c.cpi.Mul
+		c.setReg(i.Rd, uint32(uint64(int64(int32(rs1))*int64(int32(rs2)))>>32))
+	case isa.DIV:
+		cost = c.cpi.Div
+		c.setReg(i.Rd, div32(rs1, rs2))
+	case isa.DIVU:
+		cost = c.cpi.Div
+		if rs2 == 0 {
+			c.setReg(i.Rd, ^uint32(0))
+		} else {
+			c.setReg(i.Rd, rs1/rs2)
+		}
+	case isa.REM:
+		cost = c.cpi.Div
+		c.setReg(i.Rd, rem32(rs1, rs2))
+	case isa.REMU:
+		cost = c.cpi.Div
+		if rs2 == 0 {
+			c.setReg(i.Rd, rs1)
+		} else {
+			c.setReg(i.Rd, rs1%rs2)
+		}
+
+	// --- I-type ALU ---
+	case isa.ADDI:
+		c.setReg(i.Rd, rs1+imm)
+	case isa.ANDI:
+		c.setReg(i.Rd, rs1&imm)
+	case isa.ORI:
+		c.setReg(i.Rd, rs1|imm)
+	case isa.XORI:
+		c.setReg(i.Rd, rs1^imm)
+	case isa.SLTI:
+		c.setReg(i.Rd, boolTo(int32(rs1) < i.Imm))
+	case isa.SLTIU:
+		c.setReg(i.Rd, boolTo(rs1 < imm))
+	case isa.SLLI:
+		c.setReg(i.Rd, rs1<<(imm&31))
+	case isa.SRLI:
+		c.setReg(i.Rd, rs1>>(imm&31))
+	case isa.SRAI:
+		c.setReg(i.Rd, uint32(int32(rs1)>>(imm&31)))
+	case isa.LUI:
+		c.setReg(i.Rd, imm<<16)
+
+	// --- loads ---
+	case isa.LW, isa.LH, isa.LHU, isa.LB, isa.LBU:
+		cost = c.cpi.Load
+		addr := rs1 + imm
+		size := loadSize(i.Op)
+		if addr%uint32(size) != 0 {
+			return c.fault(isa.CauseAlign)
+		}
+		v, err := c.bus.Read(addr, size)
+		if err != nil {
+			return c.fault(isa.CauseAlign)
+		}
+		switch i.Op {
+		case isa.LH:
+			v = uint32(int32(int16(v)))
+		case isa.LB:
+			v = uint32(int32(int8(v)))
+		}
+		c.setReg(i.Rd, v)
+
+	// --- stores ---
+	case isa.SW, isa.SH, isa.SB:
+		cost = c.cpi.Store
+		addr := rs1 + imm
+		size := storeSize(i.Op)
+		if addr%uint32(size) != 0 {
+			return c.fault(isa.CauseAlign)
+		}
+		if err := c.bus.Write(addr, size, c.Regs[i.Rd]); err != nil {
+			return c.fault(isa.CauseAlign)
+		}
+		if c.watchTriggered(addr, size) {
+			if c.profile != nil {
+				c.profile.record(c.PC, cost)
+			}
+			c.PC = next
+			c.cycles += cost
+			c.icount++
+			return StopWatch
+		}
+
+	// --- branches ---
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		// For branches the encoder stores ra in the Rd field and rb in Rs1.
+		a, b := c.Regs[i.Rd], c.Regs[i.Rs1]
+		var taken bool
+		switch i.Op {
+		case isa.BEQ:
+			taken = a == b
+		case isa.BNE:
+			taken = a != b
+		case isa.BLT:
+			taken = int32(a) < int32(b)
+		case isa.BGE:
+			taken = int32(a) >= int32(b)
+		case isa.BLTU:
+			taken = a < b
+		case isa.BGEU:
+			taken = a >= b
+		}
+		if taken {
+			cost = c.cpi.Branch
+			next = c.PC + uint32(i.Imm)*isa.Word
+		}
+
+	// --- jumps ---
+	case isa.JAL:
+		cost = c.cpi.Branch
+		c.setReg(i.Rd, c.PC+isa.Word)
+		next = c.PC + uint32(i.Imm)*isa.Word
+	case isa.JALR:
+		cost = c.cpi.Branch
+		target := (rs1 + imm) &^ 3
+		c.setReg(i.Rd, c.PC+isa.Word)
+		next = target
+
+	// --- system ---
+	case isa.ECALL:
+		if c.SR[isa.SRIVec] != 0 {
+			if c.profile != nil {
+				c.profile.record(c.PC, cost)
+			}
+			c.PC = next
+			c.cycles += cost
+			c.icount++
+			c.trap(isa.CauseECall)
+			return StopBudget
+		}
+		if c.Syscall != nil && c.Syscall(c) {
+			break // handled by host; fall through to advance PC
+		}
+		return StopEcall
+	case isa.EBREAK:
+		// PC stays at the EBREAK address: GDB expects the stop address
+		// to be the planted breakpoint.
+		return StopEBreak
+	case isa.ERET:
+		if c.profile != nil {
+			c.profile.record(c.PC, cost)
+		}
+		c.icount++
+		c.cycles += cost
+		c.eret()
+		return StopBudget
+	case isa.WFI:
+		if c.profile != nil {
+			c.profile.record(c.PC, cost)
+		}
+		c.PC = next
+		c.cycles += cost
+		c.icount++
+		if c.PendingIRQ() == 0 {
+			c.sleeping = true
+			return StopIdle
+		}
+		return StopBudget
+	case isa.HALT:
+		if c.profile != nil {
+			c.profile.record(c.PC, cost)
+		}
+		c.halted = true
+		c.PC = next
+		c.icount++
+		return StopHalt
+	case isa.MFSR:
+		c.refreshCycleSRs()
+		c.setReg(i.Rd, c.SR[i.Imm&(isa.NumSRegs-1)])
+	case isa.MTSR:
+		sr := int(i.Imm) & (isa.NumSRegs - 1)
+		if sr != isa.SRCycle && sr != isa.SRCycleH {
+			c.SR[sr] = rs1
+		}
+
+	default:
+		return c.fault(isa.CauseIllegal)
+	}
+
+	if c.profile != nil {
+		c.profile.record(c.PC, cost)
+	}
+	c.PC = next
+	c.cycles += cost
+	c.icount++
+	return StopBudget
+}
+
+// refreshCycleSRs mirrors the cycle counter into the SR file.
+func (c *CPU) refreshCycleSRs() {
+	c.SR[isa.SRCycle] = uint32(c.cycles)
+	c.SR[isa.SRCycleH] = uint32(c.cycles >> 32)
+}
+
+// Run executes up to budget instructions, returning the stop reason and
+// the number of instructions actually executed. When resuming from a
+// hardware breakpoint, the instruction at the breakpoint executes first.
+func (c *CPU) Run(budget uint64) (Stop, uint64) {
+	start := c.icount
+	// Each Step is at most one instruction; trap entries consume a step
+	// without retiring an instruction, which bounds the loop regardless.
+	for steps := uint64(0); steps < budget; steps++ {
+		s := c.Step()
+		switch s {
+		case StopBudget:
+			continue
+		case StopBreak:
+			c.stepOverBP = true
+			return s, c.icount - start
+		default:
+			return s, c.icount - start
+		}
+	}
+	return StopBudget, c.icount - start
+}
+
+func boolTo(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func div32(a, b uint32) uint32 {
+	if b == 0 {
+		return ^uint32(0) // -1, RISC-V convention
+	}
+	if int32(a) == -1<<31 && int32(b) == -1 {
+		return a // overflow: result is dividend
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+func rem32(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	if int32(a) == -1<<31 && int32(b) == -1 {
+		return 0
+	}
+	return uint32(int32(a) % int32(b))
+}
+
+func loadSize(op isa.Opcode) int {
+	switch op {
+	case isa.LW:
+		return 4
+	case isa.LH, isa.LHU:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func storeSize(op isa.Opcode) int {
+	switch op {
+	case isa.SW:
+		return 4
+	case isa.SH:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,89 @@
+package iss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile accumulates per-PC execution and cycle counts — a flat
+// instruction-level profiler for guest software. Attach with
+// CPU.AttachProfile; the ISS then charges every retired instruction to
+// its address.
+type Profile struct {
+	counts map[uint32]uint64
+	cycles map[uint32]uint64
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		counts: make(map[uint32]uint64),
+		cycles: make(map[uint32]uint64),
+	}
+}
+
+// record charges one retired instruction.
+func (p *Profile) record(pc uint32, cycles uint64) {
+	p.counts[pc]++
+	p.cycles[pc] += cycles
+}
+
+// Count returns the execution count of the instruction at pc.
+func (p *Profile) Count(pc uint32) uint64 { return p.counts[pc] }
+
+// Sites returns the number of distinct instruction addresses executed.
+func (p *Profile) Sites() int { return len(p.counts) }
+
+// HotSpot is one entry of a profile report.
+type HotSpot struct {
+	PC     uint32
+	Count  uint64
+	Cycles uint64
+}
+
+// Top returns the n most executed instruction addresses, by cycle cost.
+func (p *Profile) Top(n int) []HotSpot {
+	out := make([]HotSpot, 0, len(p.counts))
+	for pc, c := range p.counts {
+		out = append(out, HotSpot{PC: pc, Count: c, Cycles: p.cycles[pc]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Annotator resolves an address to a human-readable location (the
+// assembler image's LineOfAddr fits after adaptation).
+type Annotator func(pc uint32) string
+
+// Report writes the top-n table, annotating each address.
+func (p *Profile) Report(w io.Writer, n int, annotate Annotator) {
+	var total uint64
+	for _, c := range p.cycles {
+		total += c
+	}
+	fmt.Fprintf(w, "%-10s %12s %12s %7s  %s\n", "addr", "count", "cycles", "%", "where")
+	for _, h := range p.Top(n) {
+		where := ""
+		if annotate != nil {
+			where = annotate(h.PC)
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(h.Cycles) / float64(total)
+		}
+		fmt.Fprintf(w, "%#010x %12d %12d %6.2f%%  %s\n", h.PC, h.Count, h.Cycles, pct, where)
+	}
+}
+
+// AttachProfile enables per-instruction profiling (small interpreter
+// overhead while attached). Pass nil to detach.
+func (c *CPU) AttachProfile(p *Profile) { c.profile = p }

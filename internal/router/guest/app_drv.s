@@ -1,0 +1,71 @@
+; RTOS checksum application for the Driver-Kernel co-simulation scheme
+; (§4.1 programming model): a uKOS thread served by the co-simulation
+; device driver.
+;
+; The SystemC router rings interrupt INT_NEW_PKT after writing the
+; packet to the "pkt" iss_out port; the ISR sets a flag, the main loop
+; READs the packet through the driver, computes the checksum and WRITEs
+; it back to the "csum" iss_in port.
+.equ INT_NEW_PKT, 1
+
+main:
+    la   a0, pkt_isr
+    call cosim_register_isr
+
+mloop:
+wait_pkt:
+    di
+    la   t0, pkt_flag
+    lw   t1, 0(t0)
+    bnez t1, have_pkt
+    wfi
+    ei
+    j    wait_pkt
+have_pkt:
+    ei
+    la   t0, pkt_flag
+    lw   t1, 0(t0)
+    addi t1, t1, -1          ; consume one doorbell
+    sw   t1, 0(t0)
+
+    ; fetch the packet blob from the SystemC router
+    la   a0, port_pkt
+    addi a1, zero, 3
+    la   a2, pkt_blob
+    addi a3, zero, 256
+    call cosim_read
+
+    ; checksum the region
+    la   s0, pkt_blob
+    lw   a1, 0(s0)
+    addi a0, s0, 4
+    call csum16
+    la   t0, csum_out
+    sw   a0, 0(t0)
+
+    ; return the result
+    la   a0, port_csum
+    addi a1, zero, 4
+    la   a2, csum_out
+    addi a3, zero, 4
+    call cosim_write
+    j    mloop
+
+; pkt_isr(a0 = interrupt id): count doorbells.
+pkt_isr:
+    addi t1, zero, INT_NEW_PKT
+    bne  a0, t1, pkt_isr_done
+    la   t0, pkt_flag
+    lw   t2, 0(t0)
+    addi t2, t2, 1
+    sw   t2, 0(t0)
+pkt_isr_done:
+    ret
+
+.data
+port_pkt:  .asciz "pkt"
+port_csum: .asciz "csum"
+.align 4
+pkt_flag:  .word 0
+pkt_blob:  .space 256
+csum_out:  .word 0

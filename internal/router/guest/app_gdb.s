@@ -1,0 +1,26 @@
+; Bare-metal checksum application for the GDB-Wrapper and GDB-Kernel
+; co-simulation schemes (§3.2 programming model).
+;
+; The SystemC router pokes a serialized packet into pkt_blob while the
+; CPU is stopped at bp_recv (a breakpoint on the very line that reads
+; the variable — an iss_out binding); the application computes the
+; checksum and stores it to csum_out, and the kernel collects it at
+; bp_send (a breakpoint on the line immediately following the store —
+; an iss_in binding).
+_start:
+    la   s0, pkt_blob
+    la   s1, csum_out
+loop:
+bp_recv:
+    lw   a1, 0(s0)           ; region length (first blob word)
+    addi a0, s0, 4           ; region start
+    call csum16
+    sw   a0, 0(s1)
+bp_send:
+    nop
+    j    loop
+
+.data
+.align 4
+pkt_blob: .space 256         ; >= router.MaxBlobBytes
+csum_out: .word 0

@@ -1,0 +1,33 @@
+; csum16(a0 = buf, a1 = len) -> a0
+;
+; 16-bit ones'-complement (Internet-style) checksum over len bytes,
+; summing little-endian halfwords. buf must be halfword-aligned. This is
+; the "C/C++ application computing the checksum" of the paper's case
+; study (§5), shared by the bare-metal (GDB schemes) and RTOS
+; (Driver-Kernel) guest applications. Must match router.Checksum16.
+csum16:
+    mv   t0, zero            ; running sum
+    mv   t1, a0              ; cursor
+    mv   t2, a1              ; remaining
+cs_words:
+    addi t3, zero, 2
+    blt  t2, t3, cs_tail
+    lhu  t4, 0(t1)
+    add  t0, t0, t4
+    addi t1, t1, 2
+    addi t2, t2, -2
+    j    cs_words
+cs_tail:
+    beqz t2, cs_fold
+    lbu  t4, 0(t1)
+    add  t0, t0, t4
+cs_fold:
+    srli t4, t0, 16
+    beqz t4, cs_done
+    andi t0, t0, 0xFFFF
+    add  t0, t0, t4
+    j    cs_fold
+cs_done:
+    xori a0, t0, 0xFFFF
+    andi a0, a0, 0xFFFF
+    ret

@@ -1,0 +1,94 @@
+// Package router implements the paper's case study (§5): a 4-input,
+// 4-output packet router derived from the SystemC "Multicast Helix
+// Packet Switch" example. Incoming packets are buffered in FIFO queues;
+// a static routing table selects the output port; before forwarding,
+// the packet checksum is verified by a C-equivalent application running
+// on the ISS, reached through any of the co-simulation schemes in
+// internal/core.
+package router
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cosim/internal/sim"
+)
+
+// MaxPayloadWords bounds the packet data field; the guest applications
+// reserve a receive buffer of the matching size (see guest sources).
+const MaxPayloadWords = 60
+
+// HeaderBytes is the size of the checksummed packet header.
+const HeaderBytes = 8
+
+// MaxBlobBytes is the largest serialized packet blob (length word +
+// header + payload).
+const MaxBlobBytes = 4 + HeaderBytes + 4*MaxPayloadWords
+
+// Packet is the router's unit of traffic (§5: source address,
+// destination address, packet identifier, data field, checksum).
+type Packet struct {
+	Src      uint8
+	Dst      uint8
+	ID       uint32
+	Payload  []uint32
+	Checksum uint16
+
+	Born sim.Time // creation time, for latency accounting
+}
+
+// Region returns the checksummed byte region: header (src, dst, pad,
+// id) followed by the payload words, all little-endian.
+func (p *Packet) Region() []byte {
+	out := make([]byte, HeaderBytes+4*len(p.Payload))
+	out[0] = p.Src
+	out[1] = p.Dst
+	binary.LittleEndian.PutUint32(out[4:8], p.ID)
+	for i, w := range p.Payload {
+		binary.LittleEndian.PutUint32(out[HeaderBytes+4*i:], w)
+	}
+	return out
+}
+
+// Blob serializes the packet for the guest checksum application: a
+// 32-bit region length followed by the region itself.
+func (p *Packet) Blob() []byte {
+	region := p.Region()
+	out := make([]byte, 4+len(region))
+	binary.LittleEndian.PutUint32(out, uint32(len(region)))
+	copy(out[4:], region)
+	return out
+}
+
+// Seal computes and stores the correct checksum.
+func (p *Packet) Seal() {
+	p.Checksum = Checksum16(p.Region())
+}
+
+// Valid reports whether the stored checksum matches the content.
+func (p *Packet) Valid() bool {
+	return p.Checksum == Checksum16(p.Region())
+}
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d %d->%d len=%d csum=%#04x}", p.ID, p.Src, p.Dst, len(p.Payload), p.Checksum)
+}
+
+// Checksum16 computes the 16-bit ones'-complement (Internet-style)
+// checksum over b, summing little-endian halfwords. It matches the
+// csum16 routine in the guest assembly exactly.
+func Checksum16(b []byte) uint16 {
+	var sum uint32
+	i := 0
+	for ; i+1 < len(b); i += 2 {
+		sum += uint32(b[i]) | uint32(b[i+1])<<8
+	}
+	if i < len(b) {
+		sum += uint32(b[i])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,165 @@
+package router
+
+import (
+	"cosim/internal/sim"
+)
+
+// NumPorts is the router radix (4x4, as in the paper).
+const NumPorts = 4
+
+// BroadcastDst is the multicast destination address: the router copies
+// the packet to every output port, as in the SystemC "Multicast Helix
+// Packet Switch" example the case study extends.
+const BroadcastDst = 0xff
+
+// Config parameterizes the router model.
+type Config struct {
+	// FifoDepth is the capacity of each input and output queue.
+	FifoDepth int
+	// Table maps destination address -> output port. Destinations not
+	// present route to dst % NumPorts.
+	Table map[uint8]int
+}
+
+// Stats are the router's forwarding counters.
+type Stats struct {
+	Dequeued  uint64 // packets taken from input queues
+	Forwarded uint64 // packets passed to at least one output queue
+	Corrupted uint64 // packets dropped on checksum mismatch
+	OutDrops  uint64 // copies lost to a full output queue
+	Copies    uint64 // output-queue entries created (multicast counts each copy)
+}
+
+// Engine is one checksum service path: the iss ports of one CPU (plus
+// its Driver-Kernel doorbell, nil for the GDB schemes). A router with
+// several engines — a multi-processor SoC — services packets on all of
+// them concurrently.
+type Engine struct {
+	Pkt      *sim.IssOut
+	Csum     *sim.IssIn
+	Doorbell func()
+}
+
+// Router is the SystemC hardware model of the case study. The checksum
+// of each packet is computed in software on an ISS: a forwarding
+// process writes the packet blob to the engine's iss_out port, rings
+// the doorbell (Driver-Kernel only), and waits for the result on its
+// iss_in port.
+type Router struct {
+	sim.Module
+	cfg Config
+
+	In  [NumPorts]*sim.Fifo[*Packet]
+	Out [NumPorts]*sim.Fifo[*Packet]
+
+	engines []Engine
+
+	stats Stats
+	rr    int // round-robin input scan position
+}
+
+// New builds the router with one forwarding process per engine.
+func New(k *sim.Kernel, name string, cfg Config, engines []Engine) *Router {
+	if cfg.FifoDepth <= 0 {
+		cfg.FifoDepth = 8
+	}
+	if len(engines) == 0 {
+		panic("router: at least one checksum engine is required")
+	}
+	r := &Router{
+		Module:  k.NewModule(name),
+		cfg:     cfg,
+		engines: engines,
+	}
+	for i := range r.In {
+		r.In[i] = sim.NewFifo[*Packet](k, r.Sub("in")+itoa(i), cfg.FifoDepth)
+		r.Out[i] = sim.NewFifo[*Packet](k, r.Sub("out")+itoa(i), cfg.FifoDepth)
+	}
+	for i := range engines {
+		eng := engines[i]
+		k.Thread(r.Sub("forward")+itoa(i), func(c *sim.Ctx) { r.forward(c, eng) })
+	}
+	return r
+}
+
+// Stats returns the forwarding counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Route returns the output port for a destination address (unicast).
+func (r *Router) Route(dst uint8) int {
+	if p, ok := r.cfg.Table[dst]; ok && p >= 0 && p < NumPorts {
+		return p
+	}
+	return int(dst) % NumPorts
+}
+
+// RouteOK reports whether a packet for dst may legitimately appear on
+// output port out (any port is legitimate for the broadcast address).
+func (r *Router) RouteOK(dst uint8, out int) bool {
+	return dst == BroadcastDst || r.Route(dst) == out
+}
+
+// nextPacket scans the input queues round-robin.
+func (r *Router) nextPacket() *Packet {
+	for i := 0; i < NumPorts; i++ {
+		idx := (r.rr + i) % NumPorts
+		if pkt, ok := r.In[idx].TryRead(); ok {
+			r.rr = (idx + 1) % NumPorts
+			return pkt
+		}
+	}
+	return nil
+}
+
+// forward is one forwarding process: dequeue, verify the checksum in
+// software on the engine's CPU, forward by table lookup.
+func (r *Router) forward(c *sim.Ctx, eng Engine) {
+	waitEvents := make([]*sim.Event, NumPorts)
+	for i := range waitEvents {
+		waitEvents[i] = r.In[i].DataWritten()
+	}
+	for {
+		pkt := r.nextPacket()
+		if pkt == nil {
+			c.Wait(waitEvents...)
+			continue
+		}
+		r.stats.Dequeued++
+
+		// Offload checksum verification to the CPU.
+		eng.Pkt.Write(pkt.Blob())
+		if eng.Doorbell != nil {
+			eng.Doorbell()
+		}
+		c.Wait(eng.Csum.Event())
+		csum := uint16(eng.Csum.Uint32())
+
+		if csum != pkt.Checksum {
+			r.stats.Corrupted++
+			continue
+		}
+		if pkt.Dst == BroadcastDst {
+			delivered := false
+			for i := range r.Out {
+				if r.Out[i].TryWrite(pkt) {
+					r.stats.Copies++
+					delivered = true
+				} else {
+					r.stats.OutDrops++
+				}
+			}
+			if delivered {
+				r.stats.Forwarded++
+			}
+			continue
+		}
+		if r.Out[r.Route(pkt.Dst)].TryWrite(pkt) {
+			r.stats.Forwarded++
+			r.stats.Copies++
+		} else {
+			r.stats.OutDrops++
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }

@@ -1,0 +1,493 @@
+; =====================================================================
+; uKOS - a small RTOS kernel for the FV32 platform.
+;
+; Plays the role of eCos in the paper's Driver-Kernel co-simulation
+; scheme: boot, preemptive round-robin threading driven by the platform
+; timer, trap/interrupt dispatch with registrable ISRs, and a few
+; syscalls. The co-simulation device driver (driver.s) is layered on
+; the ISR registration interface defined here.
+;
+; Register convention: k0/k1 are reserved for the kernel and may be
+; clobbered at any interrupt boundary; user code must not keep live
+; values there.
+; =====================================================================
+
+; ---- platform memory map ----
+.equ PIC_BASE,     0xF0000000
+.equ TIMER_BASE,   0xF0001000
+.equ CONS_BASE,    0xF0002000
+.equ COSIM_BASE,   0xF0003000
+.equ MBOX_BASE,    0xF0004000
+
+; ---- PIC registers / lines ----
+.equ PIC_PENDING,  0x00
+.equ PIC_ENABLE,   0x04
+.equ PIC_ACK,      0x08
+.equ LINE_TIMER,   1          ; bit 0
+.equ LINE_COSIM,   2          ; bit 1
+.equ LINE_MBOX,    4          ; bit 2
+
+; ---- timer registers ----
+.equ TIMER_COUNT,  0x00
+.equ TIMER_CMP,    0x04
+.equ TIMER_RELOAD, 0x08
+.equ TIMER_CTRL,   0x0C
+.equ TIMER_ACK,    0x10
+
+; ---- console ----
+.equ CONS_TX,      0x00
+
+; ---- syscall numbers ----
+.equ SYS_YIELD,    1
+.equ SYS_TICKS,    2
+.equ SYS_MYTID,    3
+.equ SYS_SLEEP,    4
+
+; ---- kernel constants ----
+.equ MAX_THREADS,  4
+.equ TCB_SIZE,     12         ; {state, saved sp, wake tick}
+.equ ST_FREE,      0
+.equ ST_READY,     1
+.equ ST_SLEEPING,  2
+.equ FRAME,        128        ; trap frame size
+; frame offsets
+.equ F_RA,   0
+.equ F_GP,   4
+.equ F_S0,   8                ; s0..s5 at 8..28
+.equ F_A0,   32               ; a0..a5 at 32..52
+.equ F_T0,   56               ; t0..t11 at 56..100
+.equ F_FP,   104
+.equ F_AT,   108
+.equ F_EPC,  112
+
+.text
+_start:
+    la   sp, k_stack0_top
+    la   k0, k_trap_entry
+    mtsr ivec, k0
+    ; thread 0 (main) is running
+    la   k0, k_tcb
+    addi k1, zero, 1
+    sw   k1, 0(k0)
+    ; start the preemption timer if the app configured a tick period
+    la   k0, k_tick_period
+    lw   k1, 0(k0)
+    beqz k1, boot_no_timer
+    la   k0, TIMER_BASE
+    sw   k1, TIMER_CMP(k0)
+    sw   k1, TIMER_RELOAD(k0)
+    addi k1, zero, 1
+    sw   k1, TIMER_CTRL(k0)
+boot_no_timer:
+    ; idle thread in the last TCB slot: parks in WFI so SYS_SLEEP can
+    ; suspend every user thread without deadlocking the scheduler
+    la   k0, k_tcb
+    addi k1, zero, TCB_SIZE*(MAX_THREADS-1)
+    add  k0, k0, k1
+    addi k1, zero, ST_READY
+    sw   k1, 0(k0)
+    la   k1, k_idle_stack_top-FRAME
+    sw   k1, 4(k0)
+    la   t0, k_idle_entry
+    sw   t0, F_EPC(k1)
+    ei
+    call main
+    halt
+
+k_idle_entry:
+    wfi
+    j    k_idle_entry
+
+; ---------------------------------------------------------------------
+; Trap entry: saves the interrupted context on the current thread's
+; stack, dispatches by cause, and resumes (possibly another thread).
+; ---------------------------------------------------------------------
+k_trap_entry:
+    addi sp, sp, -FRAME
+    sw   ra, F_RA(sp)
+    sw   gp, F_GP(sp)
+    sw   s0, F_S0+0(sp)
+    sw   s1, F_S0+4(sp)
+    sw   s2, F_S0+8(sp)
+    sw   s3, F_S0+12(sp)
+    sw   s4, F_S0+16(sp)
+    sw   s5, F_S0+20(sp)
+    sw   a0, F_A0+0(sp)
+    sw   a1, F_A0+4(sp)
+    sw   a2, F_A0+8(sp)
+    sw   a3, F_A0+12(sp)
+    sw   a4, F_A0+16(sp)
+    sw   a5, F_A0+20(sp)
+    sw   t0, F_T0+0(sp)
+    sw   t1, F_T0+4(sp)
+    sw   t2, F_T0+8(sp)
+    sw   t3, F_T0+12(sp)
+    sw   t4, F_T0+16(sp)
+    sw   t5, F_T0+20(sp)
+    sw   t6, F_T0+24(sp)
+    sw   t7, F_T0+28(sp)
+    sw   t8, F_T0+32(sp)
+    sw   t9, F_T0+36(sp)
+    sw   t10, F_T0+40(sp)
+    sw   t11, F_T0+44(sp)
+    sw   fp, F_FP(sp)
+    sw   at, F_AT(sp)
+    mfsr k0, epc
+    sw   k0, F_EPC(sp)
+
+    mfsr k0, cause
+    addi k1, zero, 16
+    bge  k0, k1, k_irq            ; external interrupt
+    addi k1, zero, 1
+    beq  k0, k1, k_syscall        ; ecall
+    ; unexpected trap: print '!' and halt
+    la   k0, CONS_BASE
+    addi k1, zero, '!'
+    sw   k1, CONS_TX(k0)
+    halt
+
+; ---- syscall dispatch (number in saved a0) ----
+k_syscall:
+    lw   t0, F_A0(sp)
+    addi t1, zero, SYS_YIELD
+    beq  t0, t1, k_schedule
+    addi t1, zero, SYS_TICKS
+    beq  t0, t1, k_sys_ticks
+    addi t1, zero, SYS_MYTID
+    beq  t0, t1, k_sys_mytid
+    addi t1, zero, SYS_SLEEP
+    beq  t0, t1, k_sys_sleep
+    j    k_resume                 ; unknown syscall: no-op
+
+k_sys_ticks:
+    la   t0, k_ticks
+    lw   t1, 0(t0)
+    sw   t1, F_A0(sp)             ; return value in saved a0
+    j    k_resume
+
+k_sys_mytid:
+    la   t0, k_cur
+    lw   t1, 0(t0)
+    sw   t1, F_A0(sp)
+    j    k_resume
+
+; SYS_SLEEP: suspend the current thread for (saved a1) timer ticks.
+k_sys_sleep:
+    la   t0, k_cur
+    lw   t1, 0(t0)
+    la   t2, k_tcb
+    addi t3, zero, TCB_SIZE
+    mul  t3, t1, t3
+    add  t3, t3, t2
+    addi t4, zero, ST_SLEEPING
+    sw   t4, 0(t3)
+    la   t5, k_ticks
+    lw   t6, 0(t5)
+    lw   t7, F_A0+4(sp)           ; ticks to sleep (a1)
+    add  t6, t6, t7
+    sw   t6, 8(t3)                ; wake tick
+    j    k_schedule
+
+; ---- interrupt dispatch ----
+k_irq:
+    la   t0, PIC_BASE
+    lw   t1, PIC_PENDING(t0)
+
+    andi t2, t1, LINE_TIMER
+    beqz t2, k_irq_cosim
+    ; timer tick: ack timer + pic, count, reschedule
+    la   t3, TIMER_BASE
+    sw   zero, TIMER_ACK(t3)
+    addi t4, zero, LINE_TIMER
+    sw   t4, PIC_ACK(t0)
+    la   t3, k_ticks
+    lw   t4, 0(t3)
+    addi t4, t4, 1
+    sw   t4, 0(t3)
+    ; wake sleeping threads whose deadline has passed
+    la   t5, k_tcb
+    addi t6, zero, 0
+k_wake_loop:
+    lw   t7, 0(t5)                ; state
+    addi t8, zero, ST_SLEEPING
+    bne  t7, t8, k_wake_next
+    lw   t8, 8(t5)                ; wake tick
+    blt  t4, t8, k_wake_next
+    addi t7, zero, ST_READY
+    sw   t7, 0(t5)
+k_wake_next:
+    addi t5, t5, TCB_SIZE
+    addi t6, t6, 1
+    addi t7, zero, MAX_THREADS
+    blt  t6, t7, k_wake_loop
+    j    k_schedule
+
+k_irq_cosim:
+    andi t2, t1, LINE_COSIM
+    beqz t2, k_irq_mbox
+    ; call the registered co-simulation ISR; with no handler yet, mask
+    ; the line so the (level-held) interrupt is delivered once a driver
+    ; registers, instead of storming or being lost.
+    la   t3, k_cosim_isr
+    lw   t4, 0(t3)
+    beqz t4, k_irq_cosim_mask
+    jalr ra, t4, 0
+k_irq_cosim_ack:
+    la   t0, PIC_BASE
+    addi t4, zero, LINE_COSIM
+    sw   t4, PIC_ACK(t0)
+    j    k_resume
+k_irq_cosim_mask:
+    la   t0, PIC_BASE
+    lw   t4, PIC_ENABLE(t0)
+    li   t5, 0xFFFFFFFD          ; ~LINE_COSIM
+    and  t4, t4, t5
+    sw   t4, PIC_ENABLE(t0)
+    j    k_resume
+
+k_irq_mbox:
+    andi t2, t1, LINE_MBOX
+    beqz t2, k_irq_spurious
+    la   t3, k_mbox_isr
+    lw   t4, 0(t3)
+    beqz t4, k_irq_mbox_mask
+    jalr ra, t4, 0
+k_irq_mbox_ack:
+    la   t0, PIC_BASE
+    addi t4, zero, LINE_MBOX
+    sw   t4, PIC_ACK(t0)
+    j    k_resume
+k_irq_mbox_mask:
+    la   t0, PIC_BASE
+    lw   t4, PIC_ENABLE(t0)
+    li   t5, 0xFFFFFFFB          ; ~LINE_MBOX
+    and  t4, t4, t5
+    sw   t4, PIC_ENABLE(t0)
+    j    k_resume
+
+k_irq_spurious:
+    ; acknowledge everything pending so we do not livelock
+    sw   t1, PIC_ACK(t0)
+    j    k_resume
+
+; ---------------------------------------------------------------------
+; Round-robin scheduler: save current sp, pick next ready thread.
+; ---------------------------------------------------------------------
+k_schedule:
+    la   t0, k_cur
+    lw   t1, 0(t0)                ; cur index
+    la   t2, k_tcb
+    addi t6, zero, TCB_SIZE
+    mul  t3, t1, t6
+    add  t3, t3, t2
+    sw   sp, 4(t3)                ; tcb[cur].sp = sp
+    ; First pass: the next ready USER thread (slots 0..MAX-2), round
+    ; robin from cur. The idle thread (last slot) runs only when no
+    ; user thread is ready.
+    addi t8, zero, MAX_THREADS    ; scan budget
+k_sched_next:
+    beqz t8, k_sched_idle
+    addi t8, t8, -1
+    addi t1, t1, 1
+    addi t4, zero, MAX_THREADS-1
+    blt  t1, t4, k_sched_nowrap
+    addi t1, zero, 0
+k_sched_nowrap:
+    mul  t3, t1, t6
+    add  t3, t3, t2
+    lw   t5, 0(t3)                ; state
+    addi t7, zero, ST_READY
+    bne  t5, t7, k_sched_next
+    j    k_sched_found
+k_sched_idle:
+    addi t1, zero, MAX_THREADS-1
+    mul  t3, t1, t6
+    add  t3, t3, t2
+k_sched_found:
+    sw   t1, 0(t0)                ; k_cur = next
+    lw   sp, 4(t3)
+
+; ---------------------------------------------------------------------
+; Resume the context on sp (sets PIE so eret re-enables interrupts).
+; ---------------------------------------------------------------------
+k_resume:
+    lw   k0, F_EPC(sp)
+    mtsr epc, k0
+    mfsr k0, status
+    ori  k0, k0, 2                ; PIE = 1
+    mtsr status, k0
+    lw   ra, F_RA(sp)
+    lw   gp, F_GP(sp)
+    lw   s0, F_S0+0(sp)
+    lw   s1, F_S0+4(sp)
+    lw   s2, F_S0+8(sp)
+    lw   s3, F_S0+12(sp)
+    lw   s4, F_S0+16(sp)
+    lw   s5, F_S0+20(sp)
+    lw   a0, F_A0+0(sp)
+    lw   a1, F_A0+4(sp)
+    lw   a2, F_A0+8(sp)
+    lw   a3, F_A0+12(sp)
+    lw   a4, F_A0+16(sp)
+    lw   a5, F_A0+20(sp)
+    lw   t0, F_T0+0(sp)
+    lw   t1, F_T0+4(sp)
+    lw   t2, F_T0+8(sp)
+    lw   t3, F_T0+12(sp)
+    lw   t4, F_T0+16(sp)
+    lw   t5, F_T0+20(sp)
+    lw   t6, F_T0+24(sp)
+    lw   t7, F_T0+28(sp)
+    lw   t8, F_T0+32(sp)
+    lw   t9, F_T0+36(sp)
+    lw   t10, F_T0+40(sp)
+    lw   t11, F_T0+44(sp)
+    lw   fp, F_FP(sp)
+    lw   at, F_AT(sp)
+    addi sp, sp, FRAME
+    eret
+
+; ---------------------------------------------------------------------
+; k_thread_create(a0 = entry, a1 = stack_top) -> a0 = tid or -1
+; Forges a trap frame on the new stack so the scheduler can switch in.
+; ---------------------------------------------------------------------
+k_thread_create:
+    la   t0, k_tcb
+    addi t1, zero, 0              ; index
+    addi t6, zero, TCB_SIZE
+ktc_loop:
+    mul  t2, t1, t6
+    add  t2, t2, t0
+    lw   t3, 0(t2)
+    beqz t3, ktc_found
+    addi t1, t1, 1
+    addi t4, zero, MAX_THREADS
+    blt  t1, t4, ktc_loop
+    li   a0, -1
+    ret
+ktc_found:
+    addi t4, a1, -FRAME           ; sp' with forged frame
+    sw   a0, F_EPC(t4)            ; resume at entry
+    sw   zero, F_RA(t4)
+    addi t5, zero, ST_READY
+    sw   t5, 0(t2)                ; state = ready
+    sw   t4, 4(t2)                ; saved sp
+    mv   a0, t1
+    ret
+
+; ---------------------------------------------------------------------
+; Console helpers.
+; k_putc(a0 = char), k_puts(a0 = nul-terminated string)
+; ---------------------------------------------------------------------
+k_putc:
+    la   t0, CONS_BASE
+    sw   a0, CONS_TX(t0)
+    ret
+
+k_puts:
+    la   t0, CONS_BASE
+kp_loop:
+    lbu  t1, 0(a0)
+    beqz t1, kp_done
+    sw   t1, CONS_TX(t0)
+    addi a0, a0, 1
+    j    kp_loop
+kp_done:
+    ret
+
+; k_yield: cooperative reschedule via syscall
+k_yield:
+    addi a0, zero, SYS_YIELD
+    ecall
+    ret
+
+; k_ticks_now() -> a0
+k_ticks_now:
+    addi a0, zero, SYS_TICKS
+    ecall
+    ret
+
+; k_sleep(a0 = timer ticks): suspend the calling thread. Requires the
+; preemption timer (k_tick_period != 0).
+k_sleep:
+    mv   a1, a0
+    addi a0, zero, SYS_SLEEP
+    ecall
+    ret
+
+; k_sem_wait(a0 = semaphore word): decrement, yielding while zero.
+k_sem_wait:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+ksw_retry:
+    di
+    lw   t0, 0(s0)
+    bnez t0, ksw_take
+    ei
+    call k_yield
+    j    ksw_retry
+ksw_take:
+    addi t0, t0, -1
+    sw   t0, 0(s0)
+    ei
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 8
+    ret
+
+; k_sem_post(a0 = semaphore word)
+k_sem_post:
+    di
+    lw   t0, 0(a0)
+    addi t0, t0, 1
+    sw   t0, 0(a0)
+    ei
+    ret
+
+; k_register_cosim_isr(a0 = handler): install and unmask the line (a
+; level-held interrupt that arrived before registration fires now).
+k_register_cosim_isr:
+    la   t0, k_cosim_isr
+    sw   a0, 0(t0)
+    la   t0, PIC_BASE
+    lw   t1, PIC_ENABLE(t0)
+    ori  t1, t1, LINE_COSIM
+    sw   t1, PIC_ENABLE(t0)
+    ret
+
+; k_register_mbox_isr(a0 = handler)
+k_register_mbox_isr:
+    la   t0, k_mbox_isr
+    sw   a0, 0(t0)
+    la   t0, PIC_BASE
+    lw   t1, PIC_ENABLE(t0)
+    ori  t1, t1, LINE_MBOX
+    sw   t1, PIC_ENABLE(t0)
+    ret
+
+; ---------------------------------------------------------------------
+; Kernel data.
+; ---------------------------------------------------------------------
+.data
+.align 4
+k_tcb:         .space 48         ; MAX_THREADS * {state, sp, wake}
+k_cur:         .word 0
+k_ticks:       .word 0
+k_cosim_isr:   .word 0
+k_mbox_isr:    .word 0
+k_tick_period: .word 0           ; cycles per preemption tick; 0 = off
+
+.align 16
+k_stack0:      .space 4096
+k_stack0_top:
+.align 16
+k_stack1:      .space 2048
+k_stack1_top:
+.align 16
+k_stack2:      .space 2048
+k_stack2_top:
+.align 16
+k_idle_stack:  .space 256
+k_idle_stack_top:

@@ -1,0 +1,130 @@
+// Package rtos provides μKOS, a small RTOS for the FV32 platform
+// written in FV32 assembly, standing in for eCos in the paper's
+// Driver-Kernel co-simulation scheme. It offers boot, preemptive
+// round-robin threading off the platform timer, trap/interrupt dispatch
+// with registrable ISRs, console output, and a co-simulation device
+// driver that speaks the paper's READ/WRITE socket message format
+// through the CosimDev bridge device.
+//
+// Guest applications are additional assembly sources defining `main`
+// (and optionally extra threads); Build links them with the kernel and
+// driver into a loadable image.
+package rtos
+
+import (
+	_ "embed"
+	"sync/atomic"
+	"time"
+
+	"cosim/internal/asm"
+	"cosim/internal/dev"
+	"cosim/internal/iss"
+)
+
+//go:embed guest/kernel.s
+var kernelSrc string
+
+//go:embed guest/driver.s
+var driverSrc string
+
+// Reserved co-simulation interrupt ids (mirrors driver.s).
+const (
+	IntNone      = 0xffffffff
+	IntDataReady = 0xfffffff0
+)
+
+// KernelLines returns the source line count of the kernel+driver, used
+// by the harness to report the paper's code-size comparison (§5).
+func KernelLines() (kernel, driver int) {
+	return countLines(kernelSrc), countLines(driverSrc)
+}
+
+// DriverSource returns the driver source text (for LoC accounting).
+func DriverSource() string { return driverSrc }
+
+func countLines(s string) int {
+	n := 0
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// Sources returns the kernel and driver sources, in link order.
+func Sources() []asm.Source {
+	return []asm.Source{
+		{Name: "kernel.s", Text: kernelSrc},
+		{Name: "driver.s", Text: driverSrc},
+	}
+}
+
+// Build assembles the kernel, the co-simulation driver and the given
+// application sources into one image. The application must define
+// `main`.
+func Build(app ...asm.Source) (*asm.Image, error) {
+	srcs := append(Sources(), app...)
+	return asm.Assemble(asm.Options{TextBase: 0, DataBase: 0x00200000}, srcs...)
+}
+
+// Runner drives a platform in a host goroutine: it keeps executing
+// until the guest halts or Stop is called, sleeping briefly when the
+// CPU is parked in WFI with nothing pending (waiting for an external
+// co-simulation interrupt).
+type Runner struct {
+	P *dev.Platform
+	// IdleSleep is the host-side wait when the guest is in WFI.
+	IdleSleep time.Duration
+	// Quantum is the instruction budget per inner run call.
+	Quantum uint64
+
+	stop atomic.Bool
+	done chan struct{}
+	last iss.Stop
+}
+
+// NewRunner creates a runner with sensible defaults.
+func NewRunner(p *dev.Platform) *Runner {
+	return &Runner{P: p, IdleSleep: 20 * time.Microsecond, Quantum: 100_000, done: make(chan struct{})}
+}
+
+// Start launches the run loop in its own goroutine.
+func (r *Runner) Start() {
+	go func() {
+		defer close(r.done)
+		wake := r.P.CPU.WakeChan()
+		for !r.stop.Load() {
+			stop, _ := r.P.Run(r.Quantum)
+			r.last = stop
+			switch stop {
+			case iss.StopBudget:
+				// keep going
+			case iss.StopIdle:
+				// Parked in WFI: sleep until an interrupt is raised
+				// (with a fallback poll for timer-driven wakeups).
+				select {
+				case <-wake:
+				case <-time.After(r.IdleSleep):
+				}
+			default:
+				return // halt, error, ...
+			}
+		}
+	}()
+}
+
+// Stop requests termination and waits for the loop to exit.
+func (r *Runner) Stop() {
+	r.stop.Store(true)
+	<-r.done
+}
+
+// Wait blocks until the guest halts on its own.
+func (r *Runner) Wait() iss.Stop {
+	<-r.done
+	return r.last
+}
+
+// LastStop returns the most recent stop reason.
+func (r *Runner) LastStop() iss.Stop { return r.last }

@@ -1,0 +1,117 @@
+package sim
+
+// Fifo is a bounded FIFO channel equivalent to sc_fifo[T]. Blocking
+// Read/Write may only be called from thread processes; the non-blocking
+// variants may be called from methods as well.
+//
+// Like sc_fifo, reads and writes performed in the same delta cycle are
+// decoupled: items written become readable immediately (sc_fifo's
+// num_available is conservative; we use the simpler immediate-visibility
+// model, which is what sc_fifo readers observe after their wait on
+// data_written_event).
+type Fifo[T any] struct {
+	k        *Kernel
+	name     string
+	buf      []T
+	capacity int
+
+	dataWritten *Event
+	dataRead    *Event
+
+	totalWritten uint64
+	totalRead    uint64
+	dropped      uint64
+}
+
+// NewFifo creates a FIFO with the given capacity (must be >= 1).
+func NewFifo[T any](k *Kernel, name string, capacity int) *Fifo[T] {
+	if capacity < 1 {
+		panic("sim: fifo capacity must be >= 1")
+	}
+	return &Fifo[T]{
+		k: k, name: name, capacity: capacity,
+		dataWritten: k.NewEvent(name + ".data_written"),
+		dataRead:    k.NewEvent(name + ".data_read"),
+	}
+}
+
+// Name returns the FIFO name.
+func (f *Fifo[T]) Name() string { return f.name }
+
+// Len returns the number of items currently stored.
+func (f *Fifo[T]) Len() int { return len(f.buf) }
+
+// Cap returns the FIFO capacity.
+func (f *Fifo[T]) Cap() int { return f.capacity }
+
+// Free returns the remaining space.
+func (f *Fifo[T]) Free() int { return f.capacity - len(f.buf) }
+
+// DataWritten returns the event notified (delta) after each write.
+func (f *Fifo[T]) DataWritten() *Event { return f.dataWritten }
+
+// DataRead returns the event notified (delta) after each read.
+func (f *Fifo[T]) DataRead() *Event { return f.dataRead }
+
+// TotalWritten returns the number of successful writes.
+func (f *Fifo[T]) TotalWritten() uint64 { return f.totalWritten }
+
+// TotalRead returns the number of successful reads.
+func (f *Fifo[T]) TotalRead() uint64 { return f.totalRead }
+
+// Dropped returns the number of TryWrite calls rejected because the FIFO
+// was full (used by the router model to count lost packets).
+func (f *Fifo[T]) Dropped() uint64 { return f.dropped }
+
+// TryWrite appends v if there is space and reports success. On failure
+// the drop counter is incremented.
+func (f *Fifo[T]) TryWrite(v T) bool {
+	if len(f.buf) >= f.capacity {
+		f.dropped++
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.totalWritten++
+	f.dataWritten.NotifyDelta()
+	return true
+}
+
+// TryRead pops the oldest item if available.
+func (f *Fifo[T]) TryRead() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.totalRead++
+	f.dataRead.NotifyDelta()
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (f *Fifo[T]) Peek() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	return f.buf[0], true
+}
+
+// Write blocks the calling thread until space is available, then appends v.
+func (f *Fifo[T]) Write(c *Ctx, v T) {
+	for !f.TryWrite(v) {
+		f.dropped-- // blocking writers don't count as drops
+		c.Wait(f.dataRead)
+	}
+}
+
+// Read blocks the calling thread until an item is available and pops it.
+func (f *Fifo[T]) Read(c *Ctx) T {
+	for {
+		if v, ok := f.TryRead(); ok {
+			return v
+		}
+		c.Wait(f.dataWritten)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Mutex is a simulation-level mutex equivalent to sc_mutex. It
+// serializes thread processes, not goroutines: only one simulated owner
+// at a time, with blocked threads parked on an event.
+type Mutex struct {
+	k        *Kernel
+	name     string
+	owner    *Proc
+	released *Event
+}
+
+// NewMutex creates a named simulation mutex.
+func NewMutex(k *Kernel, name string) *Mutex {
+	return &Mutex{k: k, name: name, released: k.NewEvent(name + ".released")}
+}
+
+// Lock blocks the calling thread until the mutex is free, then takes it.
+func (m *Mutex) Lock(c *Ctx) {
+	for m.owner != nil {
+		c.Wait(m.released)
+	}
+	m.owner = c.p
+}
+
+// TryLock takes the mutex if free and reports success.
+func (m *Mutex) TryLock(c *Ctx) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.owner = c.p
+	return true
+}
+
+// Unlock releases the mutex. It panics if the caller is not the owner,
+// matching sc_mutex's error behaviour.
+func (m *Mutex) Unlock(c *Ctx) {
+	if m.owner != c.p {
+		panic("sim: mutex unlocked by non-owner " + c.p.name)
+	}
+	m.owner = nil
+	m.released.Notify()
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Semaphore is a counting semaphore equivalent to sc_semaphore.
+type Semaphore struct {
+	k      *Kernel
+	name   string
+	value  int
+	posted *Event
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic("sim: semaphore initial value must be >= 0")
+	}
+	return &Semaphore{k: k, name: name, value: initial,
+		posted: k.NewEvent(name + ".posted")}
+}
+
+// Wait decrements the semaphore, blocking while the count is zero.
+func (s *Semaphore) Wait(c *Ctx) {
+	for s.value == 0 {
+		c.Wait(s.posted)
+	}
+	s.value--
+}
+
+// TryWait decrements the semaphore if positive and reports success.
+func (s *Semaphore) TryWait() bool {
+	if s.value == 0 {
+		return false
+	}
+	s.value--
+	return true
+}
+
+// Post increments the semaphore and wakes blocked threads.
+func (s *Semaphore) Post() {
+	s.value++
+	s.posted.Notify()
+}
+
+// Value returns the current count.
+func (s *Semaphore) Value() int { return s.value }

@@ -1,0 +1,99 @@
+// Package sim implements a SystemC-like discrete-event simulation kernel.
+//
+// The kernel follows the OSCI SystemC 2.0 scheduler semantics: an
+// evaluation phase runs every runnable process to completion (methods) or
+// to its next wait (threads); writes to primitive channels such as Signal
+// are deferred to the update phase; update may trigger delta
+// notifications, which start a new evaluation phase at the same simulated
+// time; when no delta work remains, simulated time advances to the next
+// timed notification.
+//
+// On top of the plain SystemC semantics the package implements the kernel
+// extensions proposed by Fummi et al. (DATE 2004) for native ISS
+// co-simulation: cycle hooks invoked at the beginning and end of every
+// simulation cycle (see Kernel.AddCycleHook and Kernel.AddEndCycleHook),
+// ISS ports (IssIn, IssOut) and ISS processes (Kernel.IssProcess).
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time is a simulated time stamp or duration, measured in picoseconds.
+// The zero Time is the beginning of simulation.
+type Time uint64
+
+// Time units, expressed in picoseconds.
+const (
+	PS  Time = 1
+	NS  Time = 1000 * PS
+	US  Time = 1000 * NS
+	MS  Time = 1000 * US
+	SEC Time = 1000 * MS
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = ^Time(0)
+
+// String formats the time using the largest unit that divides it evenly,
+// e.g. "25ns" or "1500ps".
+func (t Time) String() string {
+	type unit struct {
+		div  Time
+		name string
+	}
+	units := []unit{{SEC, "s"}, {MS, "ms"}, {US, "us"}, {NS, "ns"}, {PS, "ps"}}
+	for _, u := range units {
+		if t >= u.div && t%u.div == 0 {
+			return strconv.FormatUint(uint64(t/u.div), 10) + u.name
+		}
+	}
+	return strconv.FormatUint(uint64(t), 10) + "ps"
+}
+
+// ParseTime parses strings such as "10ns", "1.5us" or "100" (bare
+// picoseconds). It is the inverse of Time.String for exact values.
+func ParseTime(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("sim: empty time")
+	}
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num, suffix := s[:i], strings.TrimSpace(s[i:])
+	var mult Time
+	switch suffix {
+	case "", "ps":
+		mult = PS
+	case "ns":
+		mult = NS
+	case "us", "µs":
+		mult = US
+	case "ms":
+		mult = MS
+	case "s", "sec":
+		mult = SEC
+	default:
+		return 0, fmt.Errorf("sim: unknown time unit %q", suffix)
+	}
+	if dot := strings.IndexByte(num, '.'); dot >= 0 {
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sim: bad time %q: %v", s, err)
+		}
+		return Time(f * float64(mult)), nil
+	}
+	v, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad time %q: %v", s, err)
+	}
+	return Time(v) * mult, nil
+}

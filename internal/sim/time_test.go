@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{1, "1ps"},
+		{999, "999ps"},
+		{NS, "1ns"},
+		{1500, "1500ps"},
+		{25 * NS, "25ns"},
+		{MS, "1ms"},
+		{3 * SEC, "3s"},
+		{1001 * US, "1001us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"0ps", 0},
+		{"1ns", NS},
+		{"25ns", 25 * NS},
+		{"1.5us", 1500 * NS},
+		{"100", 100 * PS},
+		{"10ms", 10 * MS},
+		{"2s", 2 * SEC},
+		{" 5 us ", 5 * US},
+		{"0.5ns", 500 * PS},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil {
+			t.Errorf("ParseTime(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTime(%q) = %v, want %v", c.in, uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestParseTimeErrors(t *testing.T) {
+	for _, s := range []string{"", "ns", "1xx", "abc", "--3ns"} {
+		if _, err := ParseTime(s); err == nil {
+			t.Errorf("ParseTime(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		tm := Time(v)
+		back, err := ParseTime(tm.String())
+		return err == nil && back == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
