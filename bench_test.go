@@ -14,6 +14,7 @@ package cosim
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -183,6 +184,37 @@ func BenchmarkAblationTransport(b *testing.B) {
 			}
 		}
 	})
+	b.Run("driver-message-pooled", func(b *testing.B) {
+		// The steady-state path the Driver-Kernel scheme actually uses:
+		// encode through the pooled scratch buffer, zero allocations.
+		m := core.Message{Type: core.MsgWrite, Cycles: 123, Port: "csum", Data: []byte{1, 2, 3, 4}}
+		b.SetBytes(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := core.WriteMessage(io.Discard, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRunAllTable1 measures the experiment harness itself: the
+// same Table 1 sweep executed sequentially and on a worker pool. The
+// per-scheme results are identical (each scenario owns its kernel, ISS
+// and sockets and is deterministically seeded); only wall clock
+// changes, which is the point of `benchtab -parallel`.
+func BenchmarkRunAllTable1(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scens := harness.Table1Scenarios([]sim.Time{2 * sim.MS}, benchParams())
+			for i := 0; i < b.N; i++ {
+				outs := harness.RunAll(scens, workers)
+				if err := harness.FirstError(outs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationInterruptGDB quantifies §4's argument: "Modeling an

@@ -5,20 +5,53 @@
 // Usage:
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-transport tcp|pipe]
+//	         [-parallel N] [-json]
 //
 // -full uses the paper-scale simulated durations (slow); the default
 // uses scaled-down durations with identical workload structure.
+// -parallel runs the experiment sweep on N workers: every run owns its
+// kernel, ISS and sockets, so scheme results are identical to the
+// sequential sweep — only total wall time drops. -json replaces the
+// human-readable tables with a machine-readable metrics report (one
+// record per run, plus the folded table/figure data).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cosim/internal/core"
 	"cosim/internal/harness"
 	"cosim/internal/sim"
 )
+
+// report is the -json output schema.
+type report struct {
+	Experiment  string            `json:"experiment"`
+	Transport   string            `json:"transport"`
+	Parallel    int               `json:"parallel"`
+	GeneratedAt string            `json:"generated_at"`
+	Table1      []table1JSON      `json:"table1,omitempty"`
+	Figure7     []figure7JSON     `json:"figure7,omitempty"`
+	Runs        []harness.Metrics `json:"runs,omitempty"`
+	LoC         *harness.LoCReport `json:"loc,omitempty"`
+}
+
+type table1JSON struct {
+	Scheme string  `json:"scheme"`
+	WallNS []int64 `json:"wall_ns"` // one per simulated duration
+}
+
+type figure7JSON struct {
+	Delay        string  `json:"delay"`
+	GDBKernelPct float64 `json:"gdb_kernel_pct"`
+	DriverPct    float64 `json:"driver_kernel_pct"`
+	GDBLatPS     uint64  `json:"gdb_kernel_latency_ps"`
+	DriverLatPS  uint64  `json:"driver_kernel_latency_ps"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, figure7, loc, all")
@@ -26,11 +59,15 @@ func main() {
 	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
 	delay := flag.String("delay", "20us", "inter-packet delay for Table 1")
 	seed := flag.Int64("seed", 1, "traffic seed")
+	parallel := flag.Int("parallel", 1, "experiment sweep workers (1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable metrics report")
 	flag.Parse()
 
 	tr := core.TransportTCP
+	trName := "tcp"
 	if *transport == "pipe" {
 		tr = core.TransportPipe
+		trName = "pipe"
 	}
 	d, err := sim.ParseTime(*delay)
 	if err != nil {
@@ -44,40 +81,101 @@ func main() {
 		simTimes = []sim.Time{1000 * sim.MS, 10000 * sim.MS, 100000 * sim.MS}
 	}
 
+	rep := &report{
+		Experiment:  *exp,
+		Transport:   trName,
+		Parallel:    *parallel,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
 	switch *exp {
 	case "table1":
-		runTable1(simTimes, base)
+		runTable1(rep, simTimes, base, *parallel, *jsonOut)
 	case "figure7":
-		runFigure7(base)
+		runFigure7(rep, base, *parallel, *jsonOut)
 	case "loc":
-		harness.PrintLoC(os.Stdout, harness.CountLoC())
+		runLoC(rep, *jsonOut)
 	case "all":
-		runTable1(simTimes, base)
-		fmt.Println()
-		runFigure7(base)
-		fmt.Println()
-		harness.PrintLoC(os.Stdout, harness.CountLoC())
+		runTable1(rep, simTimes, base, *parallel, *jsonOut)
+		sep(*jsonOut)
+		runFigure7(rep, base, *parallel, *jsonOut)
+		sep(*jsonOut)
+		runLoC(rep, *jsonOut)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func runTable1(simTimes []sim.Time, base harness.Params) {
-	rows, err := harness.Table1(simTimes, base)
+func sep(jsonOut bool) {
+	if !jsonOut {
+		fmt.Println()
+	}
+}
+
+func runTable1(rep *report, simTimes []sim.Time, base harness.Params, workers int, jsonOut bool) {
+	outs := harness.RunAll(harness.Table1Scenarios(simTimes, base), workers)
+	rows, err := harness.Table1Rows(simTimes, outs)
 	if err != nil {
 		fatal(err)
 	}
-	harness.PrintTable1(os.Stdout, simTimes, rows)
+	collectRuns(rep, outs)
+	for _, r := range rows {
+		tj := table1JSON{Scheme: r.Scheme.String()}
+		for _, w := range r.Wall {
+			tj.WallNS = append(tj.WallNS, w.Nanoseconds())
+		}
+		rep.Table1 = append(rep.Table1, tj)
+	}
+	if !jsonOut {
+		harness.PrintTable1(os.Stdout, simTimes, rows)
+	}
 }
 
-func runFigure7(base harness.Params) {
+func runFigure7(rep *report, base harness.Params, workers int, jsonOut bool) {
 	delays := []sim.Time{5 * sim.US, 10 * sim.US, 20 * sim.US, 30 * sim.US, 50 * sim.US, 100 * sim.US}
 	base.SimTime = 2 * sim.MS
-	points, err := harness.Figure7(delays, base)
+	outs := harness.RunAll(harness.Figure7Scenarios(delays, base), workers)
+	points, err := harness.Figure7Points(delays, outs)
 	if err != nil {
 		fatal(err)
 	}
-	harness.PrintFigure7(os.Stdout, points)
+	collectRuns(rep, outs)
+	for _, p := range points {
+		rep.Figure7 = append(rep.Figure7, figure7JSON{
+			Delay:        p.Delay.String(),
+			GDBKernelPct: p.GDBKernelPct,
+			DriverPct:    p.DriverPct,
+			GDBLatPS:     uint64(p.GDBLat),
+			DriverLatPS:  uint64(p.DriverLat),
+		})
+	}
+	if !jsonOut {
+		harness.PrintFigure7(os.Stdout, points)
+	}
+}
+
+func runLoC(rep *report, jsonOut bool) {
+	loc := harness.CountLoC()
+	rep.LoC = &loc
+	if !jsonOut {
+		harness.PrintLoC(os.Stdout, loc)
+	}
+}
+
+func collectRuns(rep *report, outs []harness.RunOutcome) {
+	for _, o := range outs {
+		if o.Result != nil {
+			rep.Runs = append(rep.Runs, o.Result.Metrics())
+		}
+	}
 }
 
 func fatal(err error) {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -40,10 +42,12 @@ type DriverKernel struct {
 	skewBound   sim.Time
 	outstanding bool
 	outSince    sim.Time
+	waitTimeout time.Duration // how long a conservative wait may block
 
 	pendingReads []*binding
 	outBindings  map[string]*binding // port name -> binding (ToISS)
 	intQueue     []uint32
+	irqBuf       [4]byte // scratch for interrupt notifications (kernel context only)
 
 	journal *Journal
 
@@ -75,6 +79,7 @@ func NewDriverKernel(k *sim.Kernel, data io.ReadWriter, irq io.Writer, opts Driv
 		k: k, dataW: data, irqW: irq,
 		period:      opts.CPUPeriod,
 		skewBound:   opts.SkewBound,
+		waitTimeout: time.Second,
 		journal:     opts.Journal,
 		outBindings: make(map[string]*binding),
 		notify:      make(chan struct{}, 1),
@@ -187,11 +192,20 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 	// Conservative sync: wait for the guest instead of letting simulated
 	// time race past an outstanding request.
 	if d.skewBound != 0 && d.outstanding && k.Now() >= d.outSince+d.skewBound {
+		// A token may be sitting in d.notify from messages that were
+		// already drained in a prior cycle; waiting on it would return
+		// immediately without new data and silently void the skew bound.
+		// Discard it, then re-check the inbox: if the token was in fact
+		// fresh, its message is already in the inbox and no wait happens.
+		select {
+		case <-d.notify:
+		default:
+		}
 		d.mu.Lock()
 		empty := len(d.inbox) == 0 && d.rdErr == nil
 		d.mu.Unlock()
 		if empty {
-			timer := time.NewTimer(time.Second)
+			timer := time.NewTimer(d.waitTimeout)
 			select {
 			case <-d.notify:
 			case <-timer.C:
@@ -207,10 +221,13 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 	d.inbox = nil
 	err := d.rdErr
 	d.mu.Unlock()
-	if err != nil && err != io.EOF && len(msgs) == 0 && d.err == nil {
-		// Surface read errors once the stream is dry. EOF is a normal
-		// guest shutdown.
-		d.err = fmt.Errorf("driver-kernel: %w", err)
+	if err != nil && len(msgs) == 0 && d.err == nil {
+		// Surface read errors once the stream is dry. A clean EOF is a
+		// normal guest shutdown; an unexpected EOF mid-message (or any
+		// wrapped error) is a real connection failure.
+		if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			d.err = fmt.Errorf("driver-kernel: %w", err)
+		}
 	}
 
 	for _, m := range msgs {
@@ -223,8 +240,11 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 				return
 			}
 			t := d.targetTime(m.Cycles)
-			data := m.Data
-			k.CallAt(t, func() { port.Deliver(data) })
+			msg := m
+			k.CallAt(t, func() {
+				port.Deliver(msg.Data)
+				msg.Release() // Deliver copied; recycle the codec buffer
+			})
 			d.advanceSync(m.Cycles, t)
 			d.stats.Transfers++
 			d.outstanding = false
@@ -255,12 +275,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 // reply sends the current iss_out port value as a DATA message followed
 // by a DATA_READY interrupt so a WFI-parked guest wakes up.
 func (d *DriverKernel) reply(b *binding) {
-	out, err := Message{Type: MsgData, Data: b.outPort.Bytes()}.Encode()
-	if err != nil {
-		d.err = err
-		return
-	}
-	if _, err := d.dataW.Write(out); err != nil {
+	if err := WriteMessage(d.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
 		d.err = fmt.Errorf("driver-kernel: data socket: %w", err)
 		return
 	}
@@ -275,9 +290,20 @@ func (d *DriverKernel) reply(b *binding) {
 	})
 	// The guest idled while waiting; re-anchor its timeline.
 	d.syncTime = d.k.Now()
-	if _, err := d.irqW.Write(EncodeInterrupt(IntDataReady)); err != nil {
-		d.err = fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+	if err := d.sendInterrupt(IntDataReady); err != nil {
+		d.err = err
 	}
+}
+
+// sendInterrupt writes one 4-byte notification through the reusable
+// scratch buffer. Only called from kernel context (cycle hooks), so the
+// scratch needs no locking.
+func (d *DriverKernel) sendInterrupt(id uint32) error {
+	binary.LittleEndian.PutUint32(d.irqBuf[:], id)
+	if _, err := d.irqW.Write(d.irqBuf[:]); err != nil {
+		return fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+	}
+	return nil
 }
 
 // flushInterrupts is the end-of-cycle hook of Figure 5.
@@ -286,8 +312,8 @@ func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
 		return
 	}
 	for _, id := range d.intQueue {
-		if _, err := d.irqW.Write(EncodeInterrupt(id)); err != nil {
-			d.err = fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+		if err := d.sendInterrupt(id); err != nil {
+			d.err = err
 			return
 		}
 		d.stats.IntsNotified++

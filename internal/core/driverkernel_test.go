@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"cosim/internal/sim"
+)
+
+// advanceKernel runs the kernel up to t so Now() moves forward.
+func advanceKernel(t *testing.T, k *sim.Kernel, until sim.Time) {
+	t.Helper()
+	k.CallAt(until, func() {})
+	if err := k.Run(until); err != nil && err != sim.ErrDeadlock {
+		t.Fatalf("kernel run: %v", err)
+	}
+	if k.Now() != until {
+		t.Fatalf("kernel at %v, want %v", k.Now(), until)
+	}
+}
+
+func TestTargetTimeWraparound(t *testing.T) {
+	k := sim.NewKernel("t")
+	defer k.Shutdown()
+	d := &DriverKernel{k: k, period: 10 * sim.NS}
+
+	// Anchor just below the 32-bit ceiling; the guest then runs 0x20
+	// cycles, wrapping the counter past zero.
+	d.syncCycles = 0xfffffff0
+	d.syncTime = 500 * sim.NS
+	got := d.targetTime(0x10)
+	want := d.syncTime + 0x20*10*sim.NS
+	if got != want {
+		t.Fatalf("wrapped targetTime = %v, want %v", got, want)
+	}
+
+	// Without wrap the same arithmetic must still hold.
+	d.syncCycles = 100
+	got = d.targetTime(164)
+	want = d.syncTime + 64*10*sim.NS
+	if got != want {
+		t.Fatalf("targetTime = %v, want %v", got, want)
+	}
+
+	// period 0 disables timing: stamps map to "now".
+	d.period = 0
+	if got := d.targetTime(12345); got != k.Now() {
+		t.Fatalf("untimed targetTime = %v, want %v", got, k.Now())
+	}
+}
+
+func TestAdvanceSyncMonotonic(t *testing.T) {
+	k := sim.NewKernel("t")
+	defer k.Shutdown()
+	advanceKernel(t, k, sim.US)
+
+	d := &DriverKernel{k: k, period: 10 * sim.NS}
+
+	// A stamp in the simulated past re-anchors to "now", never earlier.
+	d.advanceSync(10, 500*sim.NS)
+	if d.syncTime != sim.US {
+		t.Fatalf("past stamp anchored at %v, want now (%v)", d.syncTime, sim.US)
+	}
+
+	// The production call pattern is advanceSync(c, targetTime(c)):
+	// drive it through a cycle sequence that includes a 32-bit wrap and
+	// assert the anchor never moves backward.
+	prev := d.syncTime
+	for _, cycles := range []uint32{100, 5_000, 0xffffffff, 3, 50, 1 << 20} {
+		tt := d.targetTime(cycles)
+		d.advanceSync(cycles, tt)
+		if d.syncTime < prev {
+			t.Fatalf("syncTime moved backward: %v -> %v at cycles=%#x", prev, d.syncTime, cycles)
+		}
+		if d.syncCycles != cycles {
+			t.Fatalf("syncCycles = %#x, want %#x", d.syncCycles, cycles)
+		}
+		prev = d.syncTime
+	}
+}
+
+// newTestDriverKernel wires a DriverKernel over an in-process pipe and
+// returns the guest-side data end.
+func newTestDriverKernel(t *testing.T, opts DriverKernelOptions) (*sim.Kernel, *DriverKernel, net.Conn) {
+	t.Helper()
+	k := sim.NewKernel("t")
+	dataHost, dataGuest := net.Pipe()
+	d, err := NewDriverKernel(k, dataHost, io.Discard, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		k.Shutdown()
+		dataGuest.Close()
+	})
+	return k, d, dataGuest
+}
+
+// TestSkewWaitIgnoresStaleNotify is the regression test for the stale
+// wake-up token bug: a token left in d.notify by messages that were
+// already drained in a prior cycle must not satisfy the conservative
+// skew wait — the wait may only wake on genuinely new data.
+func TestSkewWaitIgnoresStaleNotify(t *testing.T) {
+	k, d, _ := newTestDriverKernel(t, DriverKernelOptions{
+		CPUPeriod: 10 * sim.NS,
+		SkewBound: sim.NS,
+	})
+	d.waitTimeout = 100 * time.Millisecond
+	advanceKernel(t, k, sim.US) // push Now() past outSince+skewBound
+
+	d.outstanding = true
+	d.outSince = 0
+	d.notify <- struct{}{} // stale: nothing new behind it
+
+	start := time.Now()
+	d.drain(k)
+	elapsed := time.Since(start)
+	if elapsed < d.waitTimeout/2 {
+		t.Fatalf("skew wait returned after %v — the stale token voided the bound", elapsed)
+	}
+	if d.outstanding {
+		t.Error("timed-out wait should give up on the outstanding request")
+	}
+	if d.err != nil {
+		t.Fatalf("unexpected scheme error: %v", d.err)
+	}
+}
+
+// TestSkewWaitWakesOnFreshMessage is the counterpart: a message that
+// arrives during the wait must wake it early and be processed.
+func TestSkewWaitWakesOnFreshMessage(t *testing.T) {
+	k, d, guest := newTestDriverKernel(t, DriverKernelOptions{
+		CPUPeriod: 10 * sim.NS,
+		SkewBound: sim.NS,
+		Ports:     []VarBinding{{Port: "in", Dir: ToSystemC, Size: 4}},
+	})
+	d.waitTimeout = 2 * time.Second
+	advanceKernel(t, k, sim.US)
+
+	d.outstanding = true
+	d.outSince = 0
+	d.notify <- struct{}{} // stale token again
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_ = WriteMessage(guest, Message{Type: MsgWrite, Cycles: 7, Port: "in", Data: []byte{1, 2, 3, 4}})
+	}()
+
+	start := time.Now()
+	d.drain(k)
+	elapsed := time.Since(start)
+	if elapsed >= d.waitTimeout {
+		t.Fatalf("wait did not wake on fresh data (took %v)", elapsed)
+	}
+	if d.err != nil {
+		t.Fatalf("unexpected scheme error: %v", d.err)
+	}
+	if d.stats.Messages == 0 {
+		t.Fatal("the waking message was not processed")
+	}
+}
+
+// waitReadErr polls until the reader goroutine records a terminal error.
+func waitReadErr(t *testing.T, d *DriverKernel) error {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		d.mu.Lock()
+		err := d.rdErr
+		d.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("reader goroutine never observed the stream end")
+	return nil
+}
+
+func TestCleanEOFIsGuestShutdown(t *testing.T) {
+	k, d, guest := newTestDriverKernel(t, DriverKernelOptions{})
+	guest.Close() // clean shutdown between messages
+	if err := waitReadErr(t, d); !errors.Is(err, io.EOF) {
+		t.Fatalf("reader error = %v, want io.EOF", err)
+	}
+	d.drain(k)
+	if d.err != nil {
+		t.Fatalf("clean EOF misfiled as failure: %v", d.err)
+	}
+}
+
+func TestMidMessageEOFIsError(t *testing.T) {
+	k, d, guest := newTestDriverKernel(t, DriverKernelOptions{})
+	// Announce a 12-byte body but deliver only 4 before disconnecting:
+	// a mid-message EOF, i.e. a real connection failure.
+	go func() {
+		_, _ = guest.Write([]byte{12, 0, 0, 0, 1, 0, 0, 0})
+		guest.Close()
+	}()
+	if err := waitReadErr(t, d); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reader error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	d.drain(k)
+	if d.err == nil {
+		t.Fatal("mid-message EOF misfiled as clean guest shutdown")
+	}
+	if !errors.Is(d.err, io.ErrUnexpectedEOF) {
+		t.Fatalf("scheme error %v does not wrap io.ErrUnexpectedEOF", d.err)
+	}
+}

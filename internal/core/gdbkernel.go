@@ -150,6 +150,22 @@ func (g *GDBKernel) hook(k *sim.Kernel) {
 	// Otherwise the ISS stays stopped; retryWaiting will resume it.
 }
 
+// Quiesce halts a free-running ISS after the simulation has finished,
+// so its instruction/cycle counters can be read without racing the stub
+// goroutine. It is a no-op when the guest is already stopped, exited,
+// or the scheme has failed.
+func (g *GDBKernel) Quiesce() {
+	if !g.running || g.exited || g.err != nil {
+		return
+	}
+	g.running = false
+	g.outstanding = false
+	if err := g.cl.Interrupt(); err != nil {
+		return
+	}
+	_, _, _ = g.cl.WaitStopTimeout(time.Second)
+}
+
 func (g *GDBKernel) resume() {
 	if err := g.cl.Continue(); err != nil {
 		g.fail(err)

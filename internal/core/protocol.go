@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Message types of the Driver-Kernel protocol (§4.2).
@@ -46,6 +47,117 @@ type Message struct {
 	Cycles uint32 // WRITE/READ only
 	Port   string // WRITE/READ only
 	Data   []byte // WRITE/DATA only
+
+	// pooled is the dataBufPool token backing Data when the message was
+	// decoded by ReadMessage; Release hands it back. Keeping the pointer
+	// here lets Release return the buffer without re-boxing it.
+	pooled *[]byte
+}
+
+// wireBufPool recycles encode/decode scratch buffers so the per-cycle
+// transport paths stop allocating once warm.
+var wireBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// dataBufPool recycles decoded Message.Data payloads; see Message.Release.
+var dataBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// getDataBuf returns a pooled buffer of length n plus its pool token.
+func getDataBuf(n int) ([]byte, *[]byte) {
+	bp := dataBufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+		*bp = b
+	}
+	return b[:n], bp
+}
+
+// Release returns a decoded message's payload buffer to the codec pool
+// and clears Data. Call it only once the payload is no longer referenced
+// anywhere (sim.IssIn.Deliver copies, so the Driver-Kernel drain path
+// releases right after delivery). On messages whose Data was set by the
+// caller rather than by ReadMessage, Release just clears the field.
+func (m *Message) Release() {
+	bp := m.pooled
+	m.pooled = nil
+	m.Data = nil
+	if bp == nil {
+		return
+	}
+	*bp = (*bp)[:0]
+	dataBufPool.Put(bp)
+}
+
+// Port-name interning: co-simulation traffic repeats a handful of port
+// names millions of times, so decoding shares one string per name
+// instead of allocating each time. The table is bounded so a hostile
+// stream of unique names cannot grow it without limit.
+var (
+	portNamesMu sync.RWMutex
+	portNames   = make(map[string]string)
+)
+
+const maxInternedPorts = 1024
+
+func internPort(b []byte) string {
+	portNamesMu.RLock()
+	s, ok := portNames[string(b)] // compiler elides the []byte->string copy for the lookup
+	portNamesMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	portNamesMu.Lock()
+	if len(portNames) < maxInternedPorts {
+		portNames[s] = s
+	}
+	portNamesMu.Unlock()
+	return s
+}
+
+// bodyLen returns the number of wire bytes following the size word.
+func (m Message) bodyLen() (int, error) {
+	switch m.Type {
+	case MsgWrite:
+		return 12 + len(m.Port) + 4 + len(m.Data), nil
+	case MsgRead:
+		return 12 + len(m.Port), nil
+	case MsgData:
+		return 8 + len(m.Data), nil
+	}
+	return 0, fmt.Errorf("core: unknown message type %d", m.Type)
+}
+
+// AppendTo appends the message's wire format to dst and returns the
+// extended slice. It allocates only when dst lacks capacity.
+func (m Message) AppendTo(dst []byte) ([]byte, error) {
+	n, err := m.bodyLen()
+	if err != nil {
+		return dst, err
+	}
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(n))
+	dst = le.AppendUint32(dst, m.Type)
+	switch m.Type {
+	case MsgWrite:
+		dst = le.AppendUint32(dst, m.Cycles)
+		dst = le.AppendUint32(dst, uint32(len(m.Port)))
+		dst = append(dst, m.Port...)
+		dst = le.AppendUint32(dst, uint32(len(m.Data)))
+		dst = append(dst, m.Data...)
+	case MsgRead:
+		dst = le.AppendUint32(dst, m.Cycles)
+		dst = le.AppendUint32(dst, uint32(len(m.Port)))
+		dst = append(dst, m.Port...)
+	case MsgData:
+		dst = le.AppendUint32(dst, uint32(len(m.Data)))
+		dst = append(dst, m.Data...)
+	}
+	return dst, nil
 }
 
 // Encode renders the message in wire format:
@@ -54,37 +166,33 @@ type Message struct {
 //	READ:  [size][type=2][cycles][namelen][name]
 //	DATA:  [size][type=3][datalen][data]
 //
-// size counts the bytes following the size word.
+// size counts the bytes following the size word. The result is a single
+// exact-size allocation; hot paths that can bound the buffer's lifetime
+// should prefer WriteMessage, which allocates nothing in steady state.
 func (m Message) Encode() ([]byte, error) {
-	var body []byte
-	le := binary.LittleEndian
-	word := func(v uint32) { body = le.AppendUint32(body, v) }
-	switch m.Type {
-	case MsgWrite:
-		word(MsgWrite)
-		word(m.Cycles)
-		word(uint32(len(m.Port)))
-		body = append(body, m.Port...)
-		word(uint32(len(m.Data)))
-		body = append(body, m.Data...)
-	case MsgRead:
-		word(MsgRead)
-		word(m.Cycles)
-		word(uint32(len(m.Port)))
-		body = append(body, m.Port...)
-	case MsgData:
-		word(MsgData)
-		word(uint32(len(m.Data)))
-		body = append(body, m.Data...)
-	default:
-		return nil, fmt.Errorf("core: unknown message type %d", m.Type)
+	n, err := m.bodyLen()
+	if err != nil {
+		return nil, err
 	}
-	out := make([]byte, 4, 4+len(body))
-	le.PutUint32(out, uint32(len(body)))
-	return append(out, body...), nil
+	return m.AppendTo(make([]byte, 0, 4+n))
 }
 
-// ReadMessage decodes one message from the stream.
+// WriteMessage encodes m through a pooled scratch buffer and writes it
+// to w in one call.
+func WriteMessage(w io.Writer, m Message) error {
+	bp := wireBufPool.Get().(*[]byte)
+	buf, err := m.AppendTo((*bp)[:0])
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	*bp = buf
+	wireBufPool.Put(bp)
+	return err
+}
+
+// ReadMessage decodes one message from the stream. The returned
+// message's Data (if any) comes from the codec buffer pool; callers on
+// steady-state paths should hand it back with Release once delivered.
 func ReadMessage(r *bufio.Reader) (Message, error) {
 	le := binary.LittleEndian
 	var hdr [4]byte
@@ -95,7 +203,14 @@ func ReadMessage(r *bufio.Reader) (Message, error) {
 	if size < 4 || size > MaxMessageSize {
 		return Message{}, fmt.Errorf("core: bad message size %d", size)
 	}
-	body := make([]byte, size)
+	bp := wireBufPool.Get().(*[]byte)
+	defer wireBufPool.Put(bp)
+	body := *bp
+	if cap(body) < int(size) {
+		body = make([]byte, size)
+		*bp = body
+	}
+	body = body[:size]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
@@ -119,7 +234,7 @@ func ReadMessage(r *bufio.Reader) (Message, error) {
 		if err := need(int(nameLen)); err != nil {
 			return Message{}, err
 		}
-		m.Port = string(rest[:nameLen])
+		m.Port = internPort(rest[:nameLen])
 		rest = rest[nameLen:]
 		if m.Type == MsgWrite {
 			if err := need(4); err != nil {
@@ -130,7 +245,10 @@ func ReadMessage(r *bufio.Reader) (Message, error) {
 			if err := need(int(dataLen)); err != nil {
 				return Message{}, err
 			}
-			m.Data = append([]byte(nil), rest[:dataLen]...)
+			if dataLen > 0 {
+				m.Data, m.pooled = getDataBuf(int(dataLen))
+				copy(m.Data, rest[:dataLen])
+			}
 		}
 	case MsgData:
 		if err := need(4); err != nil {
@@ -141,7 +259,10 @@ func ReadMessage(r *bufio.Reader) (Message, error) {
 		if err := need(int(dataLen)); err != nil {
 			return Message{}, err
 		}
-		m.Data = append([]byte(nil), rest[:dataLen]...)
+		if dataLen > 0 {
+			m.Data, m.pooled = getDataBuf(int(dataLen))
+			copy(m.Data, rest[:dataLen])
+		}
 	default:
 		return Message{}, fmt.Errorf("core: unknown message type %d", m.Type)
 	}

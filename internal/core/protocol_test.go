@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestAppendToMatchesEncode(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgWrite, Cycles: 12345, Port: "csum", Data: []byte{1, 2, 3}},
+		{Type: MsgRead, Cycles: 99, Port: "pkt"},
+		{Type: MsgData, Data: []byte{0xff, 0x00, 0x80}},
+	}
+	for _, m := range msgs {
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := m.AppendTo([]byte("prefix"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(app, append([]byte("prefix"), enc...)) {
+			t.Fatalf("AppendTo mismatch for %+v:\n%x\n%x", m, app, enc)
+		}
+	}
+	if _, err := (Message{Type: 99}).AppendTo(nil); err == nil {
+		t.Fatal("AppendTo accepted unknown type")
+	}
+}
+
+func TestWriteMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sent := []Message{
+		{Type: MsgWrite, Cycles: 1, Port: "a", Data: []byte{9, 8, 7, 6}},
+		{Type: MsgRead, Cycles: 2, Port: "bb"},
+		{Type: MsgData, Data: []byte{5}},
+		{Type: MsgWrite, Cycles: 3, Port: "a"}, // empty payload
+	}
+	for _, m := range sent {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, want := range sent {
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Cycles != want.Cycles || got.Port != want.Port ||
+			!bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("round trip: %+v -> %+v", want, got)
+		}
+		got.Release()
+		if got.Data != nil {
+			t.Fatal("Release did not clear Data")
+		}
+		got.Release() // double release of a cleared message is a no-op
+	}
+	if err := WriteMessage(io.Discard, Message{Type: 77}); err == nil {
+		t.Fatal("WriteMessage accepted unknown type")
+	}
+}
+
+func TestPortInterningShares(t *testing.T) {
+	enc, err := Message{Type: MsgRead, Cycles: 1, Port: "interned-port"}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() string {
+		m, err := ReadMessage(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Port
+	}
+	a, b := read(), read()
+	if a != "interned-port" || a != b {
+		t.Fatalf("interning broke decoding: %q vs %q", a, b)
+	}
+}
+
+// TestCodecSteadyStateAllocations pins the hot-path allocation budget:
+// Encode is one exact-size allocation, the pooled paths are
+// allocation-free once warm.
+func TestCodecSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool; allocation counts unstable")
+	}
+	m := Message{Type: MsgWrite, Cycles: 123, Port: "csum", Data: []byte{1, 2, 3, 4}}
+
+	encAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs > 1.5 {
+		t.Errorf("Encode allocates %.1f/op, want <= 1", encAllocs)
+	}
+
+	wmAllocs := testing.AllocsPerRun(200, func() {
+		if err := WriteMessage(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if wmAllocs > 0.5 {
+		t.Errorf("WriteMessage allocates %.1f/op, want 0", wmAllocs)
+	}
+
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := bytes.NewReader(enc)
+	br := bufio.NewReader(rd)
+	// Warm the pools, then measure the steady-state decode+release loop.
+	for i := 0; i < 8; i++ {
+		rd.Reset(enc)
+		br.Reset(rd)
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	}
+	rdAllocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(enc)
+		br.Reset(rd)
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	})
+	if rdAllocs > 1.5 {
+		t.Errorf("ReadMessage+Release allocates %.1f/op, want ~0", rdAllocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; it randomly
+// drops sync.Pool items, so allocation-count assertions are skipped.
+const raceEnabled = true

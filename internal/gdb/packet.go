@@ -81,12 +81,32 @@ type transport struct {
 	rw io.ReadWriter
 	br *bufio.Reader
 
-	writeMu sync.Mutex
-	stats   Stats
+	writeMu   sync.Mutex
+	wrScratch []byte // frame build buffer, reused under writeMu
+	rdBody    []byte // packet body scratch, reused by the (single) reader
+	stats     Stats
 }
 
 func newTransport(rw io.ReadWriter) *transport {
 	return &transport{rw: rw, br: bufio.NewReaderSize(rw, MaxPacketSize)}
+}
+
+// appendFrame appends "$<escaped payload>#<checksum>" to dst. The RSP
+// checksum covers the escaped payload bytes.
+func appendFrame(dst, payload []byte) []byte {
+	dst = append(dst, '$')
+	var sum byte
+	for _, c := range payload {
+		switch c {
+		case '$', '#', '}', '*':
+			dst = append(dst, 0x7d, c^0x20)
+			sum += 0x7d + (c ^ 0x20)
+		default:
+			dst = append(dst, c)
+			sum += c
+		}
+	}
+	return append(dst, '#', hexDigits[sum>>4], hexDigits[sum&0xf])
 }
 
 // sendPacket writes one framed packet and waits for the peer's ack.
@@ -94,12 +114,8 @@ func newTransport(rw io.ReadWriter) *transport {
 func (t *transport) sendPacket(payload []byte) error {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	esc := escape(payload)
-	frame := make([]byte, 0, len(esc)+4)
-	frame = append(frame, '$')
-	frame = append(frame, esc...)
-	frame = append(frame, '#')
-	frame = append(frame, hexDigits[checksum(esc)>>4], hexDigits[checksum(esc)&0xf])
+	frame := appendFrame(t.wrScratch[:0], payload)
+	t.wrScratch = frame[:0]
 
 	for attempt := 0; attempt < 5; attempt++ {
 		if _, err := t.rw.Write(frame); err != nil {
@@ -134,12 +150,8 @@ func (t *transport) sendPacket(payload []byte) error {
 func (t *transport) sendReplyNoAckWait(payload []byte) error {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	esc := escape(payload)
-	frame := make([]byte, 0, len(esc)+4)
-	frame = append(frame, '$')
-	frame = append(frame, esc...)
-	frame = append(frame, '#')
-	frame = append(frame, hexDigits[checksum(esc)>>4], hexDigits[checksum(esc)&0xf])
+	frame := appendFrame(t.wrScratch[:0], payload)
+	t.wrScratch = frame[:0]
 	if _, err := t.rw.Write(frame); err != nil {
 		return err
 	}
@@ -149,7 +161,11 @@ func (t *transport) sendReplyNoAckWait(payload []byte) error {
 }
 
 // readPacket reads one packet payload, acknowledging it. Stray acks are
-// skipped. The interrupt byte surfaces as ErrInterrupt.
+// skipped. The interrupt byte surfaces as ErrInterrupt. The returned
+// payload is freshly allocated (callers may retain it); the raw body is
+// accumulated in a reused scratch buffer, so readPacket must not be
+// called from two goroutines at once (the stub's serve loop and the
+// client's single reader both satisfy this).
 func (t *transport) readPacket() ([]byte, error) {
 	for {
 		c, err := t.br.ReadByte()
@@ -166,7 +182,7 @@ func (t *transport) readPacket() ([]byte, error) {
 			continue
 		}
 
-		var body []byte
+		body := t.rdBody[:0]
 		for {
 			c, err := t.br.ReadByte()
 			if err != nil {
@@ -180,6 +196,7 @@ func (t *transport) readPacket() ([]byte, error) {
 				return nil, errors.New("gdb: oversized packet")
 			}
 		}
+		t.rdBody = body[:0] // keep the grown array for the next packet
 		var sum [2]byte
 		if _, err := io.ReadFull(t.br, sum[:]); err != nil {
 			return nil, err

@@ -1,28 +1,59 @@
 package gdb
 
-import "io"
+import (
+	"io"
+	"sync"
+)
+
+// pumpChunkSize is the read granularity of the pump goroutine.
+const pumpChunkSize = 512
+
+// chunkPool recycles pump read buffers: the pump goroutine checks one
+// out per Read, and the consumer returns it once fully drained, so a
+// long-running connection allocates a bounded number of chunks instead
+// of one per read.
+var chunkPool = sync.Pool{
+	New: func() any { b := make([]byte, pumpChunkSize); return &b },
+}
+
+// pumpChunk is one filled buffer in flight from the pump goroutine to
+// the consumer. buf points at the pooled array; n is the filled length.
+type pumpChunk struct {
+	buf *[]byte
+	n   int
+}
 
 // pumpReader decouples reading from the connection: a goroutine drains
 // the underlying reader into a channel, so consumers get both blocking
 // reads (io.Reader) and a non-blocking readability check. The stub uses
 // it to poll for break-in bytes while the CPU runs without relying on
 // platform deadline semantics.
+//
+// The consumer side (Read/Readable) is not safe for concurrent use.
 type pumpReader struct {
-	ch  chan []byte
-	cur []byte
-	err error
+	ch     chan pumpChunk
+	cur    []byte   // unread remainder of the current chunk
+	curBuf *[]byte  // pooled backing array of cur, nil if none checked out
+	err    error    // set by the pump goroutine before close(ch)
 }
 
 func newPumpReader(r io.Reader) *pumpReader {
-	p := &pumpReader{ch: make(chan []byte, 16)}
+	p := &pumpReader{ch: make(chan pumpChunk, 16)}
 	go func() {
 		for {
-			buf := make([]byte, 512)
-			n, err := r.Read(buf)
+			bp := chunkPool.Get().(*[]byte)
+			n, err := r.Read(*bp)
 			if n > 0 {
-				p.ch <- buf[:n]
+				p.ch <- pumpChunk{buf: bp, n: n}
+			} else {
+				chunkPool.Put(bp)
 			}
 			if err != nil {
+				// Publish the real error before closing: the channel
+				// close is the happens-before edge consumers rely on.
+				if err != io.EOF {
+					p.err = err
+				}
 				close(p.ch)
 				return
 			}
@@ -31,25 +62,47 @@ func newPumpReader(r io.Reader) *pumpReader {
 	return p
 }
 
-// Read implements io.Reader (blocking).
+// take installs a received chunk as the current read position.
+func (p *pumpReader) take(c pumpChunk) {
+	p.cur = (*c.buf)[:c.n]
+	p.curBuf = c.buf
+}
+
+// recycle returns a fully drained chunk to the pool.
+func (p *pumpReader) recycle() {
+	if p.curBuf != nil && len(p.cur) == 0 {
+		chunkPool.Put(p.curBuf)
+		p.curBuf = nil
+		p.cur = nil
+	}
+}
+
+// Err returns the underlying reader's terminal error, if the pump has
+// stopped on one (nil for a clean EOF or while still running).
+func (p *pumpReader) Err() error { return p.err }
+
+// Read implements io.Reader (blocking). When the connection fails, the
+// underlying error is propagated instead of being flattened to io.EOF.
 func (p *pumpReader) Read(b []byte) (int, error) {
 	for len(p.cur) == 0 {
 		chunk, ok := <-p.ch
 		if !ok {
-			if p.err == nil {
-				p.err = io.EOF
+			if p.err != nil {
+				return 0, p.err
 			}
-			return 0, p.err
+			return 0, io.EOF
 		}
-		p.cur = chunk
+		p.take(chunk)
 	}
 	n := copy(b, p.cur)
 	p.cur = p.cur[n:]
+	p.recycle()
 	return n, nil
 }
 
-// Readable reports, without blocking, whether a Read would return data
-// immediately.
+// Readable reports, without blocking, whether a Read would return
+// immediately — either with buffered data or with the connection's
+// terminal error.
 func (p *pumpReader) Readable() bool {
 	if len(p.cur) > 0 {
 		return true
@@ -57,9 +110,9 @@ func (p *pumpReader) Readable() bool {
 	select {
 	case chunk, ok := <-p.ch:
 		if !ok {
-			return false
+			return p.err != nil
 		}
-		p.cur = chunk
+		p.take(chunk)
 		return len(p.cur) > 0
 	default:
 		return false

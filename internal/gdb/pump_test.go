@@ -1,0 +1,129 @@
+package gdb
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// failingReader serves its data, then fails with err.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(b []byte) (int, error) {
+	if len(r.data) > 0 {
+		n := copy(b, r.data)
+		r.data = r.data[n:]
+		return n, nil
+	}
+	return 0, r.err
+}
+
+// TestPumpPropagatesReadError is the regression test for the swallowed
+// connection error: the pump used to flatten every failure to io.EOF.
+func TestPumpPropagatesReadError(t *testing.T) {
+	connErr := errors.New("connection reset by peer")
+	p := newPumpReader(&failingReader{data: []byte("hello"), err: connErr})
+
+	got, err := io.ReadAll(p)
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("data before the failure lost: %q", got)
+	}
+	if !errors.Is(err, connErr) {
+		t.Fatalf("Read error = %v, want the underlying %v", err, connErr)
+	}
+	if p.Err() != connErr {
+		t.Fatalf("Err() = %v, want %v", p.Err(), connErr)
+	}
+	// Once failed, a Read keeps reporting the real error, and Readable
+	// reports the pending error as readiness.
+	if _, err := p.Read(make([]byte, 1)); !errors.Is(err, connErr) {
+		t.Fatalf("repeated Read error = %v", err)
+	}
+	if !p.Readable() {
+		t.Error("Readable() should report a pending terminal error")
+	}
+}
+
+func TestPumpCleanEOF(t *testing.T) {
+	p := newPumpReader(&failingReader{data: []byte("bye"), err: io.EOF})
+	got, err := io.ReadAll(p)
+	if err != nil || !bytes.Equal(got, []byte("bye")) {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	if _, err := p.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("Read after close = %v, want io.EOF", err)
+	}
+	if p.Readable() {
+		t.Error("Readable() after clean EOF should be false")
+	}
+	if p.Err() != nil {
+		t.Errorf("Err() after clean EOF = %v, want nil", p.Err())
+	}
+}
+
+// TestPumpChunkRecyclingIntegrity pushes far more data than the chunk
+// pool holds, in awkward read sizes, and checks nothing is corrupted by
+// buffer reuse.
+func TestPumpChunkRecyclingIntegrity(t *testing.T) {
+	src := make([]byte, 64*1024)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	p := newPumpReader(bytes.NewReader(src))
+
+	var got []byte
+	buf := make([]byte, 7) // deliberately misaligned with the 512-byte chunks
+	for {
+		n, err := p.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("data corrupted through chunk recycling")
+	}
+}
+
+// slowReader trickles bytes so Readable has both outcomes to observe.
+type slowReader struct {
+	ch chan byte
+}
+
+func (r *slowReader) Read(b []byte) (int, error) {
+	c, ok := <-r.ch
+	if !ok {
+		return 0, io.EOF
+	}
+	b[0] = c
+	return 1, nil
+}
+
+func TestPumpReadable(t *testing.T) {
+	ch := make(chan byte)
+	p := newPumpReader(&slowReader{ch: ch})
+	if p.Readable() {
+		t.Fatal("Readable() true with nothing written")
+	}
+	ch <- 0x2a
+	deadline := time.Now().Add(2 * time.Second)
+	for !p.Readable() {
+		if time.Now().After(deadline) {
+			t.Fatal("Readable() never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var b [1]byte
+	if n, err := p.Read(b[:]); n != 1 || err != nil || b[0] != 0x2a {
+		t.Fatalf("Read = %d, %v, %#x", n, err, b[0])
+	}
+	close(ch)
+}

@@ -18,7 +18,7 @@ func TestFigure7Shape(t *testing.T) {
 		Transport: core.TransportTCP,
 		SimTime:   2 * sim.MS,
 		Seed:      7,
-	})
+	}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

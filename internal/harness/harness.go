@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -155,6 +156,14 @@ type Result struct {
 	CoStats           core.Stats
 	GuestInstructions uint64
 	GuestCycles       uint64
+
+	// Allocs and AllocBytes are runtime.ReadMemStats deltas across the
+	// run (mallocs and bytes). They are process-wide: when several runs
+	// execute concurrently under RunAll, each run's delta includes its
+	// neighbours' allocations, so compare them only from sequential
+	// sweeps.
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // ForwardedPct is the y-axis of Figure 7: the percentage of generated
@@ -178,6 +187,7 @@ func Run(p Params) (*Result, error) {
 		cpus     []*iss.CPU
 		engines  []router.Engine
 		cleanup  []func()
+		quiesce  []func() // halts guest execution before counters are read
 	)
 	defer func() {
 		for i := len(cleanup) - 1; i >= 0; i-- {
@@ -222,6 +232,7 @@ func Run(p Params) (*Result, error) {
 				}
 				statsFns = append(statsFns, g.Stats)
 				errFns = append(errFns, g.Err)
+				quiesce = append(quiesce, g.Quiesce)
 			} else {
 				w, err := core.NewGDBWrapper(k, target.HostConn, im, core.GDBWrapperOptions{
 					Clock:         clk,
@@ -258,6 +269,7 @@ func Run(p Params) (*Result, error) {
 		runner := rtos.NewRunner(plat)
 		runner.Start()
 		cleanup = append(cleanup, runner.Stop)
+		quiesce = append(quiesce, runner.Stop) // Stop is idempotent
 		d, err := core.NewDriverKernel(k, target.DataHost, target.IRQHost, core.DriverKernelOptions{
 			CPUPeriod: p.CPUPeriod,
 			SkewBound: p.SkewBound,
@@ -310,9 +322,13 @@ func Run(p Params) (*Result, error) {
 		}
 	}
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	err := k.Run(p.SimTime)
 	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	if err != nil && err != sim.ErrDeadlock {
 		return nil, err
 	}
@@ -321,11 +337,18 @@ func Run(p Params) (*Result, error) {
 			return nil, schemeErr
 		}
 	}
+	// The guests run in their own goroutines (the stub's free-run, the
+	// RTOS runner); halt them before touching their counters.
+	for _, fn := range quiesce {
+		fn()
+	}
 
 	res := &Result{
-		Params:    p,
-		Wall:      wall,
-		Simulated: k.Now(),
+		Params:     p,
+		Wall:       wall,
+		Simulated:  k.Now(),
+		Allocs:     msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
 	}
 	for _, fn := range statsFns {
 		st := fn()

@@ -112,7 +112,7 @@ func TestTable1SmallRun(t *testing.T) {
 		Transport: core.TransportPipe,
 		Delay:     50 * sim.US,
 		Seed:      1,
-	})
+	}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,26 +17,49 @@ type Table1Row struct {
 	Wall   []time.Duration // one per simulated duration
 }
 
-// Table1 reproduces the paper's Table 1: for each scheme, the wall
-// clock time needed to co-simulate each simulated duration of the
-// router case study.
-func Table1(simTimes []sim.Time, base Params) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(Schemes))
+// Table1Scenarios enumerates the runs behind the paper's Table 1, in
+// scheme-major order (the table's presentation order).
+func Table1Scenarios(simTimes []sim.Time, base Params) []Scenario {
+	scens := make([]Scenario, 0, len(Schemes)*len(simTimes))
 	for _, s := range Schemes {
-		row := Table1Row{Scheme: s}
 		for _, st := range simTimes {
 			p := base
 			p.Scheme = s
 			p.SimTime = st
-			res, err := Run(p)
-			if err != nil {
-				return nil, fmt.Errorf("%v @ %v: %w", s, st, err)
-			}
-			row.Wall = append(row.Wall, res.Wall)
+			scens = append(scens, Scenario{
+				Name:   fmt.Sprintf("table1/%v/sim=%v", s, st),
+				Params: p,
+			})
+		}
+	}
+	return scens
+}
+
+// Table1Rows folds a completed Table1Scenarios sweep back into rows.
+func Table1Rows(simTimes []sim.Time, outs []RunOutcome) ([]Table1Row, error) {
+	if err := FirstError(outs); err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(Schemes))
+	i := 0
+	for _, s := range Schemes {
+		row := Table1Row{Scheme: s}
+		for range simTimes {
+			row.Wall = append(row.Wall, outs[i].Result.Wall)
+			i++
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Table1 reproduces the paper's Table 1: for each scheme, the wall
+// clock time needed to co-simulate each simulated duration of the
+// router case study. The sweep runs on `workers` parallel workers (1 =
+// sequential); scheme results are identical either way since every run
+// is isolated and seeded.
+func Table1(simTimes []sim.Time, base Params, workers int) ([]Table1Row, error) {
+	return Table1Rows(simTimes, RunAll(Table1Scenarios(simTimes, base), workers))
 }
 
 // PrintTable1 renders Table 1 in the paper's layout.
@@ -83,18 +106,42 @@ type Figure7Point struct {
 // of the Driver-Kernel guest (measured in actually executed
 // instructions) slows its checksum service, so its curve lies below
 // GDB-Kernel's at small delays.
-func Figure7(delays []sim.Time, base Params) ([]Figure7Point, error) {
-	points := make([]Figure7Point, 0, len(delays))
+func Figure7(delays []sim.Time, base Params, workers int) ([]Figure7Point, error) {
+	return Figure7Points(delays, RunAll(Figure7Scenarios(delays, base), workers))
+}
+
+// figure7Schemes are the two curves of Figure 7, in sweep order.
+var figure7Schemes = []Scheme{GDBKernel, DriverKernel}
+
+// Figure7Scenarios enumerates the runs behind Figure 7, delay-major.
+func Figure7Scenarios(delays []sim.Time, base Params) []Scenario {
+	scens := make([]Scenario, 0, len(delays)*len(figure7Schemes))
 	for _, d := range delays {
-		pt := Figure7Point{Delay: d}
-		for _, s := range []Scheme{GDBKernel, DriverKernel} {
+		for _, s := range figure7Schemes {
 			p := base
 			p.Scheme = s
 			p.Delay = d
-			res, err := Run(p)
-			if err != nil {
-				return nil, fmt.Errorf("%v @ delay %v: %w", s, d, err)
-			}
+			scens = append(scens, Scenario{
+				Name:   fmt.Sprintf("figure7/%v/delay=%v", s, d),
+				Params: p,
+			})
+		}
+	}
+	return scens
+}
+
+// Figure7Points folds a completed Figure7Scenarios sweep into points.
+func Figure7Points(delays []sim.Time, outs []RunOutcome) ([]Figure7Point, error) {
+	if err := FirstError(outs); err != nil {
+		return nil, err
+	}
+	points := make([]Figure7Point, 0, len(delays))
+	i := 0
+	for _, d := range delays {
+		pt := Figure7Point{Delay: d}
+		for _, s := range figure7Schemes {
+			res := outs[i].Result
+			i++
 			if s == GDBKernel {
 				pt.GDBKernelPct = res.ForwardedPct()
 				pt.GDBLat = res.MeanLat
@@ -150,11 +197,11 @@ func PrintFigure7(w io.Writer, points []Figure7Point) {
 // and kernel support it requires (the paper's "factor 9x ... due to the
 // writing of a new driver").
 type LoCReport struct {
-	GDBAppLines  int // bare-metal application (GDB schemes)
-	DrvAppLines  int // RTOS application
-	DriverLines  int // co-simulation device driver
-	KernelLines  int // uKOS kernel
-	SWSideFactor float64
+	GDBAppLines  int     `json:"gdb_app_lines"` // bare-metal application (GDB schemes)
+	DrvAppLines  int     `json:"drv_app_lines"` // RTOS application
+	DriverLines  int     `json:"driver_lines"`  // co-simulation device driver
+	KernelLines  int     `json:"kernel_lines"`  // uKOS kernel
+	SWSideFactor float64 `json:"sw_side_factor"`
 }
 
 // CountLoC computes the report from the embedded guest sources.

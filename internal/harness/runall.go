@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Scenario names one parameterised co-simulation run of an experiment
+// sweep (one Table 1 cell, one Figure 7 sample, ...).
+type Scenario struct {
+	Name   string
+	Params Params
+}
+
+// RunOutcome is the outcome of one scenario: exactly one of Result and
+// Err is set.
+type RunOutcome struct {
+	Scenario Scenario
+	Result   *Result
+	Err      error
+}
+
+// runScenario is the function RunAll dispatches to; a variable so tests
+// can inject failures and panics.
+var runScenario = Run
+
+// RunAll executes the scenarios on a pool of `workers` goroutines and
+// returns outcomes in scenario order, regardless of completion order.
+//
+// Every scenario owns its simulation kernel, ISS, guest image and
+// sockets, so runs are fully isolated: with identical seeds, a parallel
+// sweep produces exactly the per-scheme results of a sequential one —
+// only the wall clock differs. workers < 1 is treated as 1; workers
+// beyond len(scenarios) is clamped. A panic inside one run is captured
+// into that scenario's Err (with its stack) instead of taking down the
+// whole sweep.
+func RunAll(scenarios []Scenario, workers int) []RunOutcome {
+	out := make([]RunOutcome, len(scenarios))
+	if len(scenarios) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single scenario with panic capture.
+func runOne(s Scenario) (o RunOutcome) {
+	o.Scenario = s
+	defer func() {
+		if r := recover(); r != nil {
+			o.Result = nil
+			o.Err = fmt.Errorf("harness: scenario %q panicked: %v\n%s", s.Name, r, debug.Stack())
+		}
+	}()
+	o.Result, o.Err = runScenario(s.Params)
+	return o
+}
+
+// FirstError returns the first non-nil scenario error, annotated with
+// its scenario name, or nil if the whole sweep succeeded.
+func FirstError(outs []RunOutcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Scenario.Name, o.Err)
+		}
+	}
+	return nil
+}
