@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|figure7|loc|all [-full] [-transport tcp|pipe]
-//	         [-parallel N] [-json]
+//	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
+//	         [-scheme NAME] [-transport tcp|pipe] [-parallel N] [-json]
 //
 // -full uses the paper-scale simulated durations (slow); the default
-// uses scaled-down durations with identical workload structure.
+// uses scaled-down durations with identical workload structure, and
+// -times overrides them outright (CI smoke runs use -times 1ms).
+// -scheme restricts the sweep to a single scheme; the folded
+// table/figure artifacts need the full sweep, so a filtered run emits
+// only the per-run records.
 // -parallel runs the experiment sweep on N workers: every run owns its
 // kernel, ISS and sockets, so scheme results are identical to the
 // sequential sweep — only total wall time drops. -json replaces the
@@ -21,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cosim/internal/core"
@@ -30,13 +35,13 @@ import (
 
 // report is the -json output schema.
 type report struct {
-	Experiment  string            `json:"experiment"`
-	Transport   string            `json:"transport"`
-	Parallel    int               `json:"parallel"`
-	GeneratedAt string            `json:"generated_at"`
-	Table1      []table1JSON      `json:"table1,omitempty"`
-	Figure7     []figure7JSON     `json:"figure7,omitempty"`
-	Runs        []harness.Metrics `json:"runs,omitempty"`
+	Experiment  string             `json:"experiment"`
+	Transport   string             `json:"transport"`
+	Parallel    int                `json:"parallel"`
+	GeneratedAt string             `json:"generated_at"`
+	Table1      []table1JSON       `json:"table1,omitempty"`
+	Figure7     []figure7JSON      `json:"figure7,omitempty"`
+	Runs        []harness.Metrics  `json:"runs,omitempty"`
 	LoC         *harness.LoCReport `json:"loc,omitempty"`
 }
 
@@ -56,6 +61,9 @@ type figure7JSON struct {
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, figure7, loc, all")
 	full := flag.Bool("full", false, "paper-scale simulated durations (slow)")
+	times := flag.String("times", "", "comma-separated simulated durations for Table 1 (overrides -full)")
+	sel := harness.Scheme(-1) // sentinel: no filter
+	flag.Var(&sel, "scheme", "restrict the sweep to one scheme (default: all)")
 	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
 	delay := flag.String("delay", "20us", "inter-packet delay for Table 1")
 	seed := flag.Int64("seed", 1, "traffic seed")
@@ -80,6 +88,16 @@ func main() {
 		// The paper's Table 1 columns: 1000, 10000, 100000 ms simulated.
 		simTimes = []sim.Time{1000 * sim.MS, 10000 * sim.MS, 100000 * sim.MS}
 	}
+	if *times != "" {
+		simTimes = nil
+		for _, s := range strings.Split(*times, ",") {
+			st, err := sim.ParseTime(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			simTimes = append(simTimes, st)
+		}
+	}
 
 	rep := &report{
 		Experiment:  *exp,
@@ -90,15 +108,15 @@ func main() {
 
 	switch *exp {
 	case "table1":
-		runTable1(rep, simTimes, base, *parallel, *jsonOut)
+		runTable1(rep, simTimes, base, sel, *parallel, *jsonOut)
 	case "figure7":
-		runFigure7(rep, base, *parallel, *jsonOut)
+		runFigure7(rep, base, sel, *parallel, *jsonOut)
 	case "loc":
 		runLoC(rep, *jsonOut)
 	case "all":
-		runTable1(rep, simTimes, base, *parallel, *jsonOut)
+		runTable1(rep, simTimes, base, sel, *parallel, *jsonOut)
 		sep(*jsonOut)
-		runFigure7(rep, base, *parallel, *jsonOut)
+		runFigure7(rep, base, sel, *parallel, *jsonOut)
 		sep(*jsonOut)
 		runLoC(rep, *jsonOut)
 	default:
@@ -120,13 +138,25 @@ func sep(jsonOut bool) {
 	}
 }
 
-func runTable1(rep *report, simTimes []sim.Time, base harness.Params, workers int, jsonOut bool) {
-	outs := harness.RunAll(harness.Table1Scenarios(simTimes, base), workers)
+func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, workers int, jsonOut bool) {
+	scens := filterScenarios(harness.Table1Scenarios(simTimes, base), sel)
+	outs := harness.RunAll(scens, workers)
+	collectRuns(rep, outs)
+	if sel >= 0 {
+		// The folded table needs every scheme's column; a filtered
+		// sweep reports per-run records only.
+		if err := harness.FirstError(outs); err != nil {
+			fatal(err)
+		}
+		if !jsonOut {
+			printRuns(outs)
+		}
+		return
+	}
 	rows, err := harness.Table1Rows(simTimes, outs)
 	if err != nil {
 		fatal(err)
 	}
-	collectRuns(rep, outs)
 	for _, r := range rows {
 		tj := table1JSON{Scheme: r.Scheme.String()}
 		for _, w := range r.Wall {
@@ -139,15 +169,25 @@ func runTable1(rep *report, simTimes []sim.Time, base harness.Params, workers in
 	}
 }
 
-func runFigure7(rep *report, base harness.Params, workers int, jsonOut bool) {
+func runFigure7(rep *report, base harness.Params, sel harness.Scheme, workers int, jsonOut bool) {
 	delays := []sim.Time{5 * sim.US, 10 * sim.US, 20 * sim.US, 30 * sim.US, 50 * sim.US, 100 * sim.US}
 	base.SimTime = 2 * sim.MS
-	outs := harness.RunAll(harness.Figure7Scenarios(delays, base), workers)
+	scens := filterScenarios(harness.Figure7Scenarios(delays, base), sel)
+	outs := harness.RunAll(scens, workers)
+	collectRuns(rep, outs)
+	if sel >= 0 {
+		if err := harness.FirstError(outs); err != nil {
+			fatal(err)
+		}
+		if !jsonOut {
+			printRuns(outs)
+		}
+		return
+	}
 	points, err := harness.Figure7Points(delays, outs)
 	if err != nil {
 		fatal(err)
 	}
-	collectRuns(rep, outs)
 	for _, p := range points {
 		rep.Figure7 = append(rep.Figure7, figure7JSON{
 			Delay:        p.Delay.String(),
@@ -175,6 +215,33 @@ func collectRuns(rep *report, outs []harness.RunOutcome) {
 		if o.Result != nil {
 			rep.Runs = append(rep.Runs, o.Result.Metrics())
 		}
+	}
+}
+
+// filterScenarios keeps only scenarios of the selected scheme; a
+// negative selector (the flag's default) keeps the full sweep.
+func filterScenarios(scens []harness.Scenario, sel harness.Scheme) []harness.Scenario {
+	if sel < 0 {
+		return scens
+	}
+	var kept []harness.Scenario
+	for _, sc := range scens {
+		if sc.Params.Scheme == sel {
+			kept = append(kept, sc)
+		}
+	}
+	return kept
+}
+
+// printRuns is the human-readable form of a filtered sweep: one line
+// per run instead of the folded table.
+func printRuns(outs []harness.RunOutcome) {
+	for _, o := range outs {
+		if o.Result == nil {
+			continue
+		}
+		fmt.Printf("%-36s wall=%-12v forwarded=%.1f%%\n",
+			o.Scenario.Name, o.Result.Wall, o.Result.ForwardedPct())
 	}
 }
 

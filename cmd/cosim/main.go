@@ -7,17 +7,23 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"cosim/internal/core"
 	"cosim/internal/harness"
+	"cosim/internal/obs"
 	"cosim/internal/sim"
 )
 
 func main() {
-	scheme := flag.String("scheme", "gdb-kernel", "co-simulation scheme: gdb-wrapper, gdb-kernel, driver-kernel")
+	scheme := harness.GDBKernel
+	flag.Var(&scheme, "scheme", "co-simulation scheme: gdb-wrapper, gdb-kernel, driver-kernel")
 	simTime := flag.String("time", "10ms", "simulated duration")
 	delay := flag.String("delay", "20us", "inter-packet delay per source")
 	payload := flag.Int("payload", 4, "payload words per packet")
@@ -29,12 +35,10 @@ func main() {
 	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (GDB-Kernel only)")
 	vcd := flag.String("vcd", "", "write a VCD trace of queue occupancy to this file")
 	journal := flag.String("journal", "", "write a CSV journal of every co-simulation transfer to this file")
+	metricsOut := flag.String("metrics", "", "write the run's obs metrics snapshot (JSON) to this file")
+	expvarAddr := flag.String("expvar", "", "serve live metrics over HTTP on this address (GET /debug/vars)")
 	flag.Parse()
 
-	s, err := harness.ParseScheme(*scheme)
-	if err != nil {
-		fatal(err)
-	}
 	st, err := sim.ParseTime(*simTime)
 	if err != nil {
 		fatal(err)
@@ -48,8 +52,12 @@ func main() {
 		tr = core.TransportPipe
 	}
 
+	// One registry for the whole run: the schemes count into it live,
+	// so the expvar endpoint shows progress while the simulation runs.
+	reg := obs.NewRegistry()
+
 	p := harness.Params{
-		Scheme:        s,
+		Scheme:        scheme,
 		Transport:     tr,
 		SimTime:       st,
 		Delay:         d,
@@ -59,6 +67,20 @@ func main() {
 		FifoDepth:     *fifo,
 		Seed:          *seed,
 		CPUs:          *cpus,
+		Obs:           reg,
+	}
+	if *expvarAddr != "" {
+		expvar.Publish("cosim", expvar.Func(func() any { return reg.Snapshot().Flatten() }))
+		ln, err := net.Listen("tcp", *expvarAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cosim: live metrics at http://%s/debug/vars\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cosim: expvar server:", err)
+			}
+		}()
 	}
 	if *vcd != "" {
 		f, err := os.Create(*vcd)
@@ -79,7 +101,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("scheme:            %v\n", s)
+	fmt.Printf("scheme:            %v\n", scheme)
 	fmt.Printf("simulated time:    %v\n", res.Simulated)
 	fmt.Printf("wall-clock time:   %v\n", res.Wall)
 	fmt.Printf("packets generated: %d (corrupt injected: %d)\n", res.Generated, res.BadSent)
@@ -100,6 +122,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("journal:           %d transfers -> %s\n", jl.Len(), *journal)
+	}
+	if res.TraceErr != nil {
+		fmt.Fprintln(os.Stderr, "cosim: VCD trace error:", res.TraceErr)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics:           %d counters -> %s\n", len(res.Counters), *metricsOut)
 	}
 }
 

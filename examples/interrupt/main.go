@@ -111,8 +111,7 @@ func main() {
 	k := sim.NewKernel("sensor-soc")
 	sim.NewClock(k, "clk", 100*sim.NS)
 	dk, err := core.NewDriverKernel(k, target.DataHost, target.IRQHost, core.DriverKernelOptions{
-		CPUPeriod: 10 * sim.NS,
-		SkewBound: 10 * sim.US,
+		CommonOptions: core.CommonOptions{CPUPeriod: 10 * sim.NS, SkewBound: 10 * sim.US},
 		Ports: []core.VarBinding{
 			{Port: "sample", Dir: core.ToISS},
 			{Port: "max", Dir: core.ToSystemC},

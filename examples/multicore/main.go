@@ -102,8 +102,7 @@ func attachCPU(k *sim.Kernel, name, src string) (*core.GDBKernel, *iss.CPU, erro
 		return nil, nil, err
 	}
 	g, err := core.NewGDBKernel(k, target.HostConn, im, core.GDBKernelOptions{
-		CPUPeriod: sim.NS,
-		SkewBound: 10 * sim.US,
+		CommonOptions: core.CommonOptions{CPUPeriod: sim.NS, SkewBound: 10 * sim.US},
 		Bindings: []core.VarBinding{
 			{Port: name + ".in", Var: "in0", Size: 4, Dir: core.ToISS, Label: "bp_in"},
 			{Port: name + ".out", Var: "out0", Size: 4, Dir: core.ToSystemC, Label: "bp_out"},
@@ -140,8 +139,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g1, err := core.NewGDBKernel(k, target1.HostConn, im1, core.GDBKernelOptions{
-		CPUPeriod: sim.NS,
-		SkewBound: 10 * sim.US,
+		CommonOptions: core.CommonOptions{CPUPeriod: sim.NS, SkewBound: 10 * sim.US},
 		Bindings: []core.VarBinding{
 			{Port: "cpu1.in", Var: "in1", Size: 4, Dir: core.ToISS, Label: "bp_in"},
 			{Port: "cpu1.out", Var: "out1", Size: 4, Dir: core.ToSystemC, Label: "bp_out"},

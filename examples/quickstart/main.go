@@ -67,9 +67,11 @@ func main() {
 	// GDB-Kernel co-simulation scheme.
 	k := sim.NewKernel("quickstart")
 	sim.NewClock(k, "clk", 10*sim.NS)
-	scheme, err := core.NewGDBKernel(k, target.HostConn, im, core.GDBKernelOptions{
-		CPUPeriod: sim.NS,
-		SkewBound: sim.US,
+	scheme, err := core.Attach(k, core.Config{
+		Scheme: "gdb-kernel",
+		Common: core.CommonOptions{CPUPeriod: sim.NS, SkewBound: sim.US},
+		Conn:   target.HostConn,
+		Image:  im,
 		Bindings: []core.VarBinding{
 			{Port: "req", Var: "req", Size: 4, Dir: core.ToISS, Label: "bp_req"},
 			{Port: "resp", Var: "resp", Size: 4, Dir: core.ToSystemC, Label: "bp_resp"},

@@ -152,8 +152,8 @@ func TestGDBKernelEndToEnd(t *testing.T) {
 		k := sim.NewKernel("top")
 		sim.NewClock(k, "clk", 10*sim.NS)
 		g, err := NewGDBKernel(k, target.HostConn, im, GDBKernelOptions{
-			CPUPeriod: sim.NS,
-			Bindings:  doublerBindings,
+			CommonOptions: CommonOptions{CPUPeriod: sim.NS},
+			Bindings:      doublerBindings,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -202,11 +202,10 @@ func TestGDBKernelTimeCoupling(t *testing.T) {
 	sim.NewClock(k, "clk", 10*sim.NS)
 	period := 2 * sim.NS
 	g, err := NewGDBKernel(k, target.HostConn, im, GDBKernelOptions{
-		CPUPeriod: period,
 		// Conservative sync keeps simulated time from racing ahead of
 		// the wall-clock-paced ISS, so latency reflects guest cycles.
-		SkewBound: 100 * sim.NS,
-		Bindings:  doublerBindings,
+		CommonOptions: CommonOptions{CPUPeriod: period, SkewBound: 100 * sim.NS},
+		Bindings:      doublerBindings,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -360,7 +359,7 @@ func TestDriverKernelEndToEnd(t *testing.T) {
 		k := sim.NewKernel("top")
 		sim.NewClock(k, "clk", 10*sim.NS)
 		d, err := NewDriverKernel(k, target.DataHost, target.IRQHost, DriverKernelOptions{
-			CPUPeriod: sim.NS,
+			CommonOptions: CommonOptions{CPUPeriod: sim.NS},
 			Ports: []VarBinding{
 				{Port: "req", Dir: ToISS},
 				{Port: "resp", Dir: ToSystemC},
@@ -507,7 +506,7 @@ func TestWatchBindingMode(t *testing.T) {
 	k := sim.NewKernel("top")
 	sim.NewClock(k, "clk", 10*sim.NS)
 	g, err := NewGDBKernel(k, target.HostConn, im, GDBKernelOptions{
-		CPUPeriod: sim.NS,
+		CommonOptions: CommonOptions{CPUPeriod: sim.NS},
 		Bindings: []VarBinding{
 			{Port: "req", Var: "req", Size: 4, Dir: ToISS, Label: "bp_req"},
 			{Port: "resp", Var: "resp", Size: 4, Dir: ToSystemC, Watch: true},
@@ -622,8 +621,8 @@ func TestPragmaDrivenCoSimulation(t *testing.T) {
 	k := sim.NewKernel("top")
 	sim.NewClock(k, "clk", 10*sim.NS)
 	g, err := NewGDBKernel(k, target.HostConn, im, GDBKernelOptions{
-		CPUPeriod: sim.NS,
-		Bindings:  bindings,
+		CommonOptions: CommonOptions{CPUPeriod: sim.NS},
+		Bindings:      bindings,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -649,9 +648,8 @@ func TestJournalRecordsTransfers(t *testing.T) {
 	sim.NewClock(k, "clk", 10*sim.NS)
 	jl := NewJournal(0)
 	g, err := NewGDBKernel(k, target.HostConn, im, GDBKernelOptions{
-		CPUPeriod: sim.NS,
-		Bindings:  doublerBindings,
-		Journal:   jl,
+		CommonOptions: CommonOptions{CPUPeriod: sim.NS, Journal: jl},
+		Bindings:      doublerBindings,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"cosim/internal/obs"
 	"cosim/internal/sim"
 )
 
@@ -53,23 +54,42 @@ type DriverKernel struct {
 
 	err   error
 	stats Stats
+	obs   driverObs
+}
+
+// driverObs holds the Driver-Kernel hot-path metrics, pre-resolved at
+// attach time; all fields are nil (no-ops) without a registry.
+type driverObs struct {
+	polls      *obs.Counter
+	messages   *obs.Counter
+	writes     *obs.Counter
+	reads      *obs.Counter
+	replies    *obs.Counter
+	interrupts *obs.Counter
+	skewWaits  *obs.Counter
+	skewWaitNS *obs.Histogram
+}
+
+func (o *driverObs) init(r *obs.Registry) {
+	o.polls = r.Counter("driver.polls")
+	o.messages = r.Counter("driver.messages")
+	o.writes = r.Counter("driver.msgs_write")
+	o.reads = r.Counter("driver.msgs_read")
+	o.replies = r.Counter("driver.data_replies")
+	o.interrupts = r.Counter("driver.interrupts")
+	o.skewWaits = r.Counter("driver.skew_waits")
+	o.skewWaitNS = r.Histogram("driver.skew_wait_ns")
 }
 
 // DriverKernelOptions configures the scheme.
 type DriverKernelOptions struct {
-	// CPUPeriod couples guest cycle stamps to simulated time; zero
-	// disables timing.
-	CPUPeriod sim.Time
-	// SkewBound, when non-zero, limits how far simulated time may run
-	// past an outstanding request before the kernel waits (wall-clock)
-	// for the guest. Zero = free-running.
-	SkewBound sim.Time
+	// CommonOptions carries the timing, skew, journal and observability
+	// configuration shared by all schemes.
+	CommonOptions
 	// Ports declares the iss_in (ToSystemC) and iss_out (ToISS) ports
 	// the driver may address. Var/breakpoint fields are unused here —
 	// the driver names ports explicitly in its messages.
 	Ports []VarBinding
-	// Journal, when non-nil, records every transfer.
-	Journal *Journal
 }
 
 // NewDriverKernel attaches the scheme. data and irq are the kernel-side
@@ -84,6 +104,7 @@ func NewDriverKernel(k *sim.Kernel, data io.ReadWriter, irq io.Writer, opts Driv
 		outBindings: make(map[string]*binding),
 		notify:      make(chan struct{}, 1),
 	}
+	d.obs.init(opts.Obs)
 	for _, s := range opts.Ports {
 		b := &binding{spec: s}
 		if s.Dir == ToSystemC {
@@ -139,6 +160,21 @@ func (d *DriverKernel) Stats() Stats { return d.stats }
 // Err returns the first co-simulation error, if any.
 func (d *DriverKernel) Err() error { return d.err }
 
+// Name returns the scheme's canonical name.
+func (d *DriverKernel) Name() string { return "driver-kernel" }
+
+// Detach implements Scheme. The guest runner is owned by the caller
+// (it predates the scheme attachment), so there is nothing to quiesce
+// here.
+func (d *DriverKernel) Detach() {}
+
+// Publish implements Scheme: the Driver-Kernel protocol has no
+// transport-level totals beyond its live counters, so only the pending
+// read backlog is published.
+func (d *DriverKernel) Publish(r *obs.Registry) {
+	r.Gauge("driver.pending_reads").Set(uint64(len(d.pendingReads)))
+}
+
 // RaiseInterrupt queues an interrupt for the guest driver; it is sent
 // on the interrupt socket at the end of the current simulation cycle,
 // per Figure 5 ("before moving to the following simulation cycle ...
@@ -175,6 +211,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 		return
 	}
 	d.stats.Polls++
+	d.obs.polls.Inc()
 
 	// Serve pending READs whose port has been written since.
 	if len(d.pendingReads) > 0 {
@@ -205,6 +242,8 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 		empty := len(d.inbox) == 0 && d.rdErr == nil
 		d.mu.Unlock()
 		if empty {
+			d.obs.skewWaits.Inc()
+			sp := d.obs.skewWaitNS.Start()
 			timer := time.NewTimer(d.waitTimeout)
 			select {
 			case <-d.notify:
@@ -213,6 +252,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 				d.outstanding = false
 			}
 			timer.Stop()
+			sp.End()
 		}
 	}
 
@@ -232,8 +272,10 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 
 	for _, m := range msgs {
 		d.stats.Messages++
+		d.obs.messages.Inc()
 		switch m.Type {
 		case MsgWrite:
+			d.obs.writes.Inc()
 			port, ok := k.IssInPort(m.Port)
 			if !ok {
 				d.err = fmt.Errorf("driver-kernel: WRITE to unknown port %q", m.Port)
@@ -253,6 +295,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 				Port: m.Port, Bytes: len(m.Data), Cycles: uint64(m.Cycles),
 			})
 		case MsgRead:
+			d.obs.reads.Inc()
 			b, ok := d.outBindings[m.Port]
 			if !ok {
 				d.err = fmt.Errorf("driver-kernel: READ of unknown port %q", m.Port)
@@ -282,6 +325,7 @@ func (d *DriverKernel) reply(b *binding) {
 	b.consumed = b.outPort.Writes()
 	b.outPort.Consumed()
 	d.stats.Transfers++
+	d.obs.replies.Inc()
 	d.outstanding = true
 	d.outSince = d.k.Now()
 	d.journal.Record(JournalEntry{
@@ -317,6 +361,7 @@ func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
 			return
 		}
 		d.stats.IntsNotified++
+		d.obs.interrupts.Inc()
 	}
 	d.intQueue = d.intQueue[:0]
 	// An interrupt usually solicits guest work; treat it as a request

@@ -105,8 +105,7 @@ func newTestDriverKernel(t *testing.T, opts DriverKernelOptions) (*sim.Kernel, *
 // skew wait — the wait may only wake on genuinely new data.
 func TestSkewWaitIgnoresStaleNotify(t *testing.T) {
 	k, d, _ := newTestDriverKernel(t, DriverKernelOptions{
-		CPUPeriod: 10 * sim.NS,
-		SkewBound: sim.NS,
+		CommonOptions: CommonOptions{CPUPeriod: 10 * sim.NS, SkewBound: sim.NS},
 	})
 	d.waitTimeout = 100 * time.Millisecond
 	advanceKernel(t, k, sim.US) // push Now() past outSince+skewBound
@@ -133,9 +132,8 @@ func TestSkewWaitIgnoresStaleNotify(t *testing.T) {
 // arrives during the wait must wake it early and be processed.
 func TestSkewWaitWakesOnFreshMessage(t *testing.T) {
 	k, d, guest := newTestDriverKernel(t, DriverKernelOptions{
-		CPUPeriod: 10 * sim.NS,
-		SkewBound: sim.NS,
-		Ports:     []VarBinding{{Port: "in", Dir: ToSystemC, Size: 4}},
+		CommonOptions: CommonOptions{CPUPeriod: 10 * sim.NS, SkewBound: sim.NS},
+		Ports:         []VarBinding{{Port: "in", Dir: ToSystemC, Size: 4}},
 	})
 	d.waitTimeout = 2 * time.Second
 	advanceKernel(t, k, sim.US)

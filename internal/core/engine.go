@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cosim/internal/gdb"
+	"cosim/internal/obs"
 	"cosim/internal/sim"
 )
 
@@ -14,6 +15,43 @@ type Stats struct {
 	Polls        uint64 // per-cycle checks performed
 	Messages     uint64 // protocol messages handled (Driver-Kernel)
 	IntsNotified uint64 // interrupts sent to the driver
+}
+
+// engineObs holds the GDB-scheme hot-path metrics, pre-resolved at
+// attach time so every update is a nil check plus an atomic add. All
+// fields are nil (no-ops) when no registry is configured.
+type engineObs struct {
+	polls      *obs.Counter
+	stops      *obs.Counter
+	breakHits  *obs.Counter
+	watchHits  *obs.Counter
+	toSC       *obs.Counter // iss->sc variable transfers
+	toISS      *obs.Counter // sc->iss variable pokes
+	skewWaits  *obs.Counter
+	skewWaitNS *obs.Histogram
+}
+
+func (o *engineObs) init(r *obs.Registry) {
+	o.polls = r.Counter("cosim.polls")
+	o.stops = r.Counter("cosim.stops")
+	o.breakHits = r.Counter("cosim.breakpoint_hits")
+	o.watchHits = r.Counter("cosim.watchpoint_hits")
+	o.toSC = r.Counter("cosim.transfers_to_sc")
+	o.toISS = r.Counter("cosim.transfers_to_iss")
+	o.skewWaits = r.Counter("cosim.skew_waits")
+	o.skewWaitNS = r.Histogram("cosim.skew_wait_ns")
+}
+
+// publishRSP copies the RSP transport totals of cl into the registry.
+// Counters accumulate, so multi-CPU configurations sum across engines.
+func publishRSP(r *obs.Registry, cl *gdb.Client) {
+	st := cl.Stats()
+	r.Counter("rsp.round_trips").Add(st.RoundTrips)
+	r.Counter("rsp.packets_sent").Add(st.PacketsSent)
+	r.Counter("rsp.packets_recv").Add(st.PacketsRecv)
+	r.Counter("rsp.bytes_sent").Add(st.BytesSent)
+	r.Counter("rsp.bytes_recv").Add(st.BytesRecv)
+	r.Counter("rsp.retransmits").Add(st.Retransmits)
 }
 
 // gdbEngine is the breakpoint/variable-transfer machinery shared by the
@@ -48,6 +86,7 @@ type gdbEngine struct {
 
 	exited bool
 	stats  Stats
+	obs    engineObs
 
 	// journal, when set, records every transfer.
 	journal    *Journal
@@ -62,6 +101,12 @@ func (e *gdbEngine) debugf(format string, args ...any) {
 		e.debug(format, args...)
 	}
 }
+
+// Name returns the scheme's canonical name.
+func (e *gdbEngine) Name() string { return e.schemeName }
+
+// Publish copies the engine's RSP transport totals into the registry.
+func (e *gdbEngine) Publish(r *obs.Registry) { publishRSP(r, e.cl) }
 
 // installBreakpoints plants a software breakpoint at each line binding
 // and a write watchpoint at each watch-mode binding.
@@ -94,17 +139,20 @@ func (e *gdbEngine) targetTime(cycles uint64) sim.Time {
 // it must stay stopped waiting for SystemC-side data.
 func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
 	e.stats.Stops++
+	e.obs.stops.Inc()
 	regs, err := e.cl.ReadRegisters()
 	if err != nil {
 		return false, err
 	}
 	var b *binding
 	if ev != nil && ev.IsWatch {
+		e.obs.watchHits.Inc()
 		b = e.byWatch[ev.WatchAddr]
 		if b == nil {
 			return false, fmt.Errorf("core: watchpoint hit at unbound address %#x", ev.WatchAddr)
 		}
 	} else {
+		e.obs.breakHits.Inc()
 		b = e.byAddr[regs.PC]
 	}
 	e.debugf("stop pc=%#x cycles=%d sync=(%d,%v) now=%v", regs.PC, regs.Cycles, e.syncCycles, e.syncTime, e.k.Now())
@@ -129,6 +177,7 @@ func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
 		}
 		e.syncCycles = regs.Cycles
 		e.stats.Transfers++
+		e.obs.toSC.Inc()
 		e.outstanding = false
 		e.journal.Record(JournalEntry{
 			Time: t, Scheme: e.schemeName, Dir: "iss->sc",
@@ -164,6 +213,7 @@ func (e *gdbEngine) pokeOut(b *binding) error {
 	b.consumed = b.outPort.Writes()
 	b.outPort.Consumed()
 	e.stats.Transfers++
+	e.obs.toISS.Inc()
 	e.outstanding = true
 	e.outSince = e.k.Now()
 	e.journal.Record(JournalEntry{

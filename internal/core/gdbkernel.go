@@ -25,18 +25,11 @@ type GDBKernel struct {
 
 // GDBKernelOptions configures the scheme.
 type GDBKernelOptions struct {
-	// CPUPeriod is the guest cycle length in simulated time, used to
-	// couple ISS cycles to the SystemC timeline. Zero disables timing
-	// (untimed software, immediate delivery).
-	CPUPeriod sim.Time
-	// SkewBound, when non-zero, limits how far simulated time may run
-	// past an outstanding request before the kernel waits (wall-clock)
-	// for the ISS response; see gdbEngine. Zero = free-running.
-	SkewBound sim.Time
+	// CommonOptions carries the timing, skew, journal and observability
+	// configuration shared by all schemes.
+	CommonOptions
 	// Bindings maps guest variables to ISS ports (§3.2).
 	Bindings []VarBinding
-	// Journal, when non-nil, records every transfer.
-	Journal *Journal
 }
 
 // NewGDBKernel attaches the scheme to the kernel. conn is the RSP
@@ -51,6 +44,7 @@ func NewGDBKernel(k *sim.Kernel, conn io.ReadWriter, im *asm.Image, opts GDBKern
 	g.skewBound = opts.SkewBound
 	g.journal = opts.Journal
 	g.schemeName = "gdb-kernel"
+	g.obs.init(opts.Obs)
 	var err error
 	g.byAddr, g.byWatch, err = resolveBindings(k, im, opts.Bindings)
 	if err != nil {
@@ -92,6 +86,7 @@ func (g *GDBKernel) hook(k *sim.Kernel) {
 		return
 	}
 	g.stats.Polls++
+	g.obs.polls.Inc()
 
 	// A stopped ISS waiting for iss_out data resumes as soon as the
 	// SystemC side produces it.
@@ -119,7 +114,10 @@ func (g *GDBKernel) hook(k *sim.Kernel) {
 		// Conservative sync: hold simulated time until the ISS responds
 		// (bounded wall wait; on timeout give up on this request so the
 		// simulation doesn't stall).
+		g.obs.skewWaits.Inc()
+		sp := g.obs.skewWaitNS.Start()
 		ev, stopped, err = g.cl.WaitStopTimeout(time.Second)
+		sp.End()
 		if err == nil && !stopped {
 			g.outstanding = false
 		}
@@ -149,6 +147,9 @@ func (g *GDBKernel) hook(k *sim.Kernel) {
 	}
 	// Otherwise the ISS stays stopped; retryWaiting will resume it.
 }
+
+// Detach implements Scheme: it quiesces the free-running ISS.
+func (g *GDBKernel) Detach() { g.Quiesce() }
 
 // Quiesce halts a free-running ISS after the simulation has finished,
 // so its instruction/cycle counters can be read without racing the stub

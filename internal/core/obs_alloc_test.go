@@ -1,0 +1,89 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"cosim/internal/obs"
+)
+
+// hotPathMessage mimics one Driver-Kernel message service: the
+// pre-resolved metric touches that bracket a WRITE, plus the wire
+// encode itself.
+func hotPathMessage(o *driverObs, m Message) error {
+	o.polls.Inc()
+	o.messages.Inc()
+	o.writes.Inc()
+	sp := o.skewWaitNS.Start()
+	err := WriteMessage(io.Discard, m)
+	sp.End()
+	return err
+}
+
+// TestDisabledObsMessageHotPathAllocs pins the API contract of the obs
+// layer: with no registry attached (init(nil)), every metric pointer is
+// nil and the instrumented message hot path allocates nothing — the
+// instrumentation must cost a nil check, not a heap object.
+func TestDisabledObsMessageHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool; allocation counts unstable")
+	}
+	var o driverObs
+	o.init(nil) // disabled: all metric pointers stay nil
+	m := Message{Type: MsgWrite, Cycles: 7, Port: "csum", Data: []byte{1, 2, 3, 4}}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := hotPathMessage(&o, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("disabled-obs message hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledObsMessageHotPathAllocs guards the enabled side too: the
+// registry resolves metrics once at init; per-message updates are
+// atomic ops on existing objects. Only the histogram span may not touch
+// the heap either — it is a stack value.
+func TestEnabledObsMessageHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool; allocation counts unstable")
+	}
+	var o driverObs
+	o.init(obs.NewRegistry())
+	m := Message{Type: MsgWrite, Cycles: 7, Port: "csum", Data: []byte{1, 2, 3, 4}}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := hotPathMessage(&o, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("enabled-obs message hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkMessageHotPathObsDisabled(b *testing.B) {
+	var o driverObs
+	o.init(nil)
+	m := Message{Type: MsgWrite, Cycles: 7, Port: "csum", Data: []byte{1, 2, 3, 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := hotPathMessage(&o, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageHotPathObsEnabled(b *testing.B) {
+	var o driverObs
+	o.init(obs.NewRegistry())
+	m := Message{Type: MsgWrite, Cycles: 7, Port: "csum", Data: []byte{1, 2, 3, 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := hotPathMessage(&o, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

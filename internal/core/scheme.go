@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cosim/internal/asm"
+	"cosim/internal/obs"
+	"cosim/internal/sim"
+)
+
+// CommonOptions holds the configuration shared by every co-simulation
+// scheme; the per-scheme *Options structs embed it.
+type CommonOptions struct {
+	// CPUPeriod is the guest cycle length in simulated time, used to
+	// couple ISS cycles to the SystemC timeline. Zero disables timing
+	// (untimed software, immediate delivery). The lock-step GDB-Wrapper
+	// ignores it: its timing is implicit in the per-cycle quantum.
+	CPUPeriod sim.Time
+	// SkewBound, when non-zero, limits how far simulated time may run
+	// past an outstanding request before the kernel waits (wall-clock)
+	// for the guest's response. Zero = free-running. Ignored by the
+	// lock-step GDB-Wrapper.
+	SkewBound sim.Time
+	// Journal, when non-nil, records every transfer.
+	Journal *Journal
+	// Obs, when non-nil, receives live co-simulation counters (see the
+	// README's Observability section for the metric names). A nil
+	// registry costs nothing on the hot path.
+	Obs *obs.Registry
+}
+
+// Scheme is the uniform handle over the three co-simulation schemes —
+// GDBWrapper, GDBKernel and DriverKernel all implement it, and
+// Attach returns it.
+type Scheme interface {
+	// Name returns the scheme's canonical name ("gdb-wrapper",
+	// "gdb-kernel", "driver-kernel").
+	Name() string
+	// Err returns the first co-simulation error, if any.
+	Err() error
+	// Stats returns the scheme's activity counters.
+	Stats() Stats
+	// Detach quiesces the guest so its counters can be read without
+	// racing its goroutines: it halts a free-running ISS (GDB-Kernel)
+	// and is a no-op for schemes whose guest only runs while the
+	// scheme drives it. The transport itself is torn down by the
+	// kernel's finalizers, not by Detach.
+	Detach()
+	// Publish copies the scheme's end-of-run transport totals into the
+	// registry (rsp.* for the GDB schemes); live counters are emitted
+	// during the run into CommonOptions.Obs. Safe on a nil registry.
+	Publish(r *obs.Registry)
+}
+
+// Config describes a co-simulation attachment for the Attach factory.
+// Scheme selects which of the remaining fields apply: the GDB schemes
+// use Conn/Image/Bindings (plus Clock and InstrPerCycle for the
+// lock-step wrapper), the Driver-Kernel scheme uses Data/IRQ/Ports.
+type Config struct {
+	// Scheme is the scheme name: "gdb-wrapper", "gdb-kernel" or
+	// "driver-kernel" (short forms "wrapper", "kernel", "driver" are
+	// accepted, case-insensitively).
+	Scheme string
+	Common CommonOptions
+
+	// GDB schemes: the RSP connection to the ISS stub and the guest
+	// image (symbols + line table) the variable bindings resolve
+	// against.
+	Conn     io.ReadWriter
+	Image    *asm.Image
+	Bindings []VarBinding
+	// Clock drives the GDB-Wrapper's per-cycle sc_method; required for
+	// that scheme, ignored by the others.
+	Clock *sim.Clock
+	// InstrPerCycle is the GDB-Wrapper lock-step quantum (default 8).
+	InstrPerCycle uint64
+
+	// Driver-Kernel: the kernel-side ends of the data and interrupt
+	// sockets, and the iss_in/iss_out ports the driver may address.
+	Data  io.ReadWriter
+	IRQ   io.Writer
+	Ports []VarBinding
+}
+
+// Attach constructs and attaches the scheme named by cfg.Scheme to the
+// kernel — the single entry point the harness and tools use instead of
+// calling the per-scheme constructors. When an observability registry
+// is configured it is also wired into the kernel (per-cycle hook
+// latency).
+func Attach(k *sim.Kernel, cfg Config) (Scheme, error) {
+	if cfg.Common.Obs != nil {
+		k.SetObs(cfg.Common.Obs)
+	}
+	switch strings.ToLower(strings.TrimSpace(cfg.Scheme)) {
+	case "gdb-wrapper", "wrapper":
+		return NewGDBWrapper(k, cfg.Conn, cfg.Image, GDBWrapperOptions{
+			CommonOptions: cfg.Common,
+			Clock:         cfg.Clock,
+			InstrPerCycle: cfg.InstrPerCycle,
+			Bindings:      cfg.Bindings,
+		})
+	case "gdb-kernel", "kernel":
+		return NewGDBKernel(k, cfg.Conn, cfg.Image, GDBKernelOptions{
+			CommonOptions: cfg.Common,
+			Bindings:      cfg.Bindings,
+		})
+	case "driver-kernel", "driver":
+		return NewDriverKernel(k, cfg.Data, cfg.IRQ, DriverKernelOptions{
+			CommonOptions: cfg.Common,
+			Ports:         cfg.Ports,
+		})
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
+}

@@ -25,6 +25,10 @@ type GDBWrapper struct {
 
 // GDBWrapperOptions configures the baseline wrapper.
 type GDBWrapperOptions struct {
+	// CommonOptions carries the journal and observability configuration.
+	// The wrapper ignores CPUPeriod and SkewBound: lock-step timing is
+	// implicit in the per-cycle quantum.
+	CommonOptions
 	// Clock drives the wrapper's sc_method (one RSP round trip per
 	// positive edge).
 	Clock *sim.Clock
@@ -33,8 +37,6 @@ type GDBWrapperOptions struct {
 	InstrPerCycle uint64
 	// Bindings maps guest variables to ISS ports, as in GDB-Kernel.
 	Bindings []VarBinding
-	// Journal, when non-nil, records every transfer.
-	Journal *Journal
 }
 
 // NewGDBWrapper attaches the wrapper baseline. conn is the RSP
@@ -53,6 +55,7 @@ func NewGDBWrapper(k *sim.Kernel, conn io.ReadWriter, im *asm.Image, opts GDBWra
 	w.period = 0 // lock-step: timing is implicit in the per-cycle quantum
 	w.journal = opts.Journal
 	w.schemeName = "gdb-wrapper"
+	w.obs.init(opts.Obs)
 	var err error
 	w.byAddr, w.byWatch, err = resolveBindings(k, im, opts.Bindings)
 	if err != nil {
@@ -74,6 +77,10 @@ func (w *GDBWrapper) Client() *gdb.Client { return w.cl }
 // Stats returns co-simulation activity counters.
 func (w *GDBWrapper) Stats() Stats { return w.stats }
 
+// Detach implements Scheme. The lock-step guest only executes inside
+// RunQuantum transactions, so there is nothing to quiesce.
+func (w *GDBWrapper) Detach() {}
+
 // Err returns the first co-simulation error, if any.
 func (w *GDBWrapper) Err() error { return w.err }
 
@@ -88,6 +95,7 @@ func (w *GDBWrapper) sync() {
 		return
 	}
 	w.stats.Polls++
+	w.obs.polls.Inc()
 
 	// If the ISS is stopped waiting for iss_out data, check whether the
 	// hardware produced it this cycle; the quantum resumes next edge.

@@ -130,6 +130,7 @@ func (c *Client) transact(payload []byte) ([]byte, error) {
 	if err := c.send(payload); err != nil {
 		return nil, err
 	}
+	c.t.stats.RoundTrips++
 	return c.recv()
 }
 
@@ -287,6 +288,7 @@ func (c *Client) Step() (*StopEvent, error) {
 	if err := c.send([]byte("s")); err != nil {
 		return nil, err
 	}
+	c.t.stats.RoundTrips++
 	r, err := c.recv()
 	if err != nil {
 		return nil, err

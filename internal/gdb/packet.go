@@ -73,6 +73,10 @@ type Stats struct {
 	BytesSent   uint64
 	BytesRecv   uint64
 	Retransmits uint64
+	// RoundTrips counts synchronous command/reply transactions (the
+	// blocking IPC exchanges the paper's Table 1 attributes lock-step
+	// overhead to). Asynchronous stop replies are not round trips.
+	RoundTrips uint64
 }
 
 // transport frames packets over an io.ReadWriter with acknowledgement

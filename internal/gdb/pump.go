@@ -32,9 +32,9 @@ type pumpChunk struct {
 // The consumer side (Read/Readable) is not safe for concurrent use.
 type pumpReader struct {
 	ch     chan pumpChunk
-	cur    []byte   // unread remainder of the current chunk
-	curBuf *[]byte  // pooled backing array of cur, nil if none checked out
-	err    error    // set by the pump goroutine before close(ch)
+	cur    []byte  // unread remainder of the current chunk
+	curBuf *[]byte // pooled backing array of cur, nil if none checked out
+	err    error   // set by the pump goroutine before close(ch)
 }
 
 func newPumpReader(r io.Reader) *pumpReader {

@@ -14,6 +14,7 @@ import (
 	"cosim/internal/core"
 	"cosim/internal/dev"
 	"cosim/internal/iss"
+	"cosim/internal/obs"
 	"cosim/internal/router"
 	"cosim/internal/rtos"
 	"cosim/internal/sim"
@@ -60,6 +61,20 @@ func ParseScheme(name string) (Scheme, error) {
 	return 0, fmt.Errorf("harness: unknown scheme %q", name)
 }
 
+// Set implements flag.Value, so a Scheme can be bound directly to a
+// -scheme flag with flag.Var.
+func (s *Scheme) Set(name string) error {
+	v, err := ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// CoreName returns the canonical scheme name core.Attach accepts.
+func (s Scheme) CoreName() string { return strings.ToLower(s.String()) }
+
 // Params configures one co-simulation run of the router case study.
 type Params struct {
 	Scheme    Scheme
@@ -96,6 +111,9 @@ type Params struct {
 	Trace io.Writer
 	// Journal, when set, records every co-simulation transfer.
 	Journal *core.Journal
+	// Obs, when set, is the observability registry the run populates;
+	// when nil, Run creates one (Result.Obs always holds it).
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields.
@@ -157,6 +175,16 @@ type Result struct {
 	GuestInstructions uint64
 	GuestCycles       uint64
 
+	// Obs is the run's observability registry; Counters is its
+	// flattened snapshot (counters and gauges verbatim, histograms as
+	// name.count / name.sum / name.max).
+	Obs      *obs.Registry
+	Counters map[string]uint64
+
+	// TraceErr reports a VCD writer failure: the trace file is
+	// truncated or unwritable even though the run itself succeeded.
+	TraceErr error
+
 	// Allocs and AllocBytes are runtime.ReadMemStats deltas across the
 	// run (mallocs and bytes). They are process-wide: when several runs
 	// execute concurrently under RunAll, each run's delta includes its
@@ -178,16 +206,19 @@ func (r *Result) ForwardedPct() float64 {
 // Run executes one full co-simulation of the case study.
 func Run(p Params) (*Result, error) {
 	p = p.withDefaults()
+	reg := p.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	k := sim.NewKernel("soc")
 	clk := sim.NewClock(k, "clk", p.ClockPeriod)
 
 	var (
-		statsFns []func() core.Stats
-		errFns   []func() error
-		cpus     []*iss.CPU
-		engines  []router.Engine
-		cleanup  []func()
-		quiesce  []func() // halts guest execution before counters are read
+		schemes []core.Scheme
+		cpus    []*iss.CPU
+		engines []router.Engine
+		cleanup []func()
+		quiesce []func() // halts guest goroutines before counters are read
 	)
 	defer func() {
 		for i := len(cleanup) - 1; i >= 0; i-- {
@@ -220,32 +251,24 @@ func Run(p Params) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if p.Scheme == GDBKernel {
-				g, err := core.NewGDBKernel(k, target.HostConn, im, core.GDBKernelOptions{
+			sch, err := core.Attach(k, core.Config{
+				Scheme: p.Scheme.CoreName(),
+				Common: core.CommonOptions{
 					CPUPeriod: p.CPUPeriod,
 					SkewBound: p.SkewBound,
-					Bindings:  router.GDBBindingsPrefixed(prefix),
 					Journal:   p.Journal,
-				})
-				if err != nil {
-					return nil, err
-				}
-				statsFns = append(statsFns, g.Stats)
-				errFns = append(errFns, g.Err)
-				quiesce = append(quiesce, g.Quiesce)
-			} else {
-				w, err := core.NewGDBWrapper(k, target.HostConn, im, core.GDBWrapperOptions{
-					Clock:         clk,
-					InstrPerCycle: p.InstrPerCycle,
-					Bindings:      router.GDBBindingsPrefixed(prefix),
-					Journal:       p.Journal,
-				})
-				if err != nil {
-					return nil, err
-				}
-				statsFns = append(statsFns, w.Stats)
-				errFns = append(errFns, w.Err)
+					Obs:       reg,
+				},
+				Conn:          target.HostConn,
+				Image:         im,
+				Bindings:      router.GDBBindingsPrefixed(prefix),
+				Clock:         clk,
+				InstrPerCycle: p.InstrPerCycle,
+			})
+			if err != nil {
+				return nil, err
 			}
+			schemes = append(schemes, sch)
 			cpus = append(cpus, cpu)
 			pktPort, _ := k.IssOutPort(prefix + router.PktPortName)
 			csumPort, _ := k.IssInPort(prefix + router.CsumPortName)
@@ -270,17 +293,23 @@ func Run(p Params) (*Result, error) {
 		runner.Start()
 		cleanup = append(cleanup, runner.Stop)
 		quiesce = append(quiesce, runner.Stop) // Stop is idempotent
-		d, err := core.NewDriverKernel(k, target.DataHost, target.IRQHost, core.DriverKernelOptions{
-			CPUPeriod: p.CPUPeriod,
-			SkewBound: p.SkewBound,
-			Ports:     router.DriverPorts(),
-			Journal:   p.Journal,
+		sch, err := core.Attach(k, core.Config{
+			Scheme: p.Scheme.CoreName(),
+			Common: core.CommonOptions{
+				CPUPeriod: p.CPUPeriod,
+				SkewBound: p.SkewBound,
+				Journal:   p.Journal,
+				Obs:       reg,
+			},
+			Data:  target.DataHost,
+			IRQ:   target.IRQHost,
+			Ports: router.DriverPorts(),
 		})
 		if err != nil {
 			return nil, err
 		}
-		statsFns = append(statsFns, d.Stats)
-		errFns = append(errFns, d.Err)
+		d := sch.(*core.DriverKernel) // the doorbell below needs RaiseInterrupt
+		schemes = append(schemes, sch)
 		cpus = append(cpus, plat.CPU)
 		pktPort, _ := k.IssOutPort(router.PktPortName)
 		csumPort, _ := k.IssInPort(router.CsumPortName)
@@ -314,11 +343,12 @@ func Run(p Params) (*Result, error) {
 		consumers[i] = router.NewConsumer(k, fmt.Sprintf("cons%d", i), i, rt.Out[i], rt.RouteOK)
 	}
 
+	var tracer *sim.Tracer
 	if p.Trace != nil {
-		tr := sim.NewTracer(k, p.Trace, "router")
+		tracer = sim.NewTracer(k, p.Trace, "router")
 		for i := 0; i < router.NumPorts; i++ {
 			q := rt.In[i]
-			sim.TraceFunc(tr, fmt.Sprintf("in%d_occupancy", i), 8, func() uint64 { return uint64(q.Len()) })
+			sim.TraceFunc(tracer, fmt.Sprintf("in%d_occupancy", i), 8, func() uint64 { return uint64(q.Len()) })
 		}
 	}
 
@@ -332,13 +362,16 @@ func Run(p Params) (*Result, error) {
 	if err != nil && err != sim.ErrDeadlock {
 		return nil, err
 	}
-	for _, errFn := range errFns {
-		if schemeErr := errFn(); schemeErr != nil {
+	for _, sch := range schemes {
+		if schemeErr := sch.Err(); schemeErr != nil {
 			return nil, schemeErr
 		}
 	}
 	// The guests run in their own goroutines (the stub's free-run, the
 	// RTOS runner); halt them before touching their counters.
+	for _, sch := range schemes {
+		sch.Detach()
+	}
 	for _, fn := range quiesce {
 		fn()
 	}
@@ -347,21 +380,29 @@ func Run(p Params) (*Result, error) {
 		Params:     p,
 		Wall:       wall,
 		Simulated:  k.Now(),
+		Obs:        reg,
 		Allocs:     msAfter.Mallocs - msBefore.Mallocs,
 		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
 	}
-	for _, fn := range statsFns {
-		st := fn()
+	if tracer != nil {
+		res.TraceErr = tracer.Err()
+	}
+	for _, sch := range schemes {
+		st := sch.Stats()
 		res.CoStats.Transfers += st.Transfers
 		res.CoStats.Stops += st.Stops
 		res.CoStats.Polls += st.Polls
 		res.CoStats.Messages += st.Messages
 		res.CoStats.IntsNotified += st.IntsNotified
+		sch.Publish(reg)
 	}
 	for _, cpu := range cpus {
 		res.GuestInstructions += cpu.Instructions()
 		res.GuestCycles += cpu.Cycles()
+		cpu.PublishObs(reg)
 	}
+	k.PublishObs(reg)
+	res.Counters = reg.Snapshot().Flatten()
 	for _, pr := range producers {
 		res.Generated += pr.Generated
 		res.Offered += pr.Offered

@@ -26,11 +26,16 @@ type Metrics struct {
 	MeanLatPS    uint64  `json:"mean_latency_ps"`
 	Allocs       uint64  `json:"allocs"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
+	// Counters is the flattened obs registry snapshot of the run (see
+	// the README's Observability section for the metric names).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// TraceErr carries a VCD writer failure, "" when none.
+	TraceErr string `json:"trace_err,omitempty"`
 }
 
 // Metrics flattens the run into its measurement record.
 func (r *Result) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Scheme:       r.Params.Scheme.String(),
 		SimTime:      r.Params.SimTime.String(),
 		Delay:        r.Params.Delay.String(),
@@ -49,7 +54,12 @@ func (r *Result) Metrics() Metrics {
 		MeanLatPS:    uint64(r.MeanLat),
 		Allocs:       r.Allocs,
 		AllocBytes:   r.AllocBytes,
+		Counters:     r.Counters,
 	}
+	if r.TraceErr != nil {
+		m.TraceErr = r.TraceErr.Error()
+	}
+	return m
 }
 
 // Wall is a convenience accessor pairing the metric with its

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"cosim/internal/core"
+	"cosim/internal/sim"
+)
+
+// counter fails the test if the named counter is absent, and returns it.
+func counter(t *testing.T, c map[string]uint64, name string) uint64 {
+	t.Helper()
+	v, ok := c[name]
+	if !ok {
+		t.Fatalf("counter %q missing from snapshot (have %d counters)", name, len(c))
+	}
+	return v
+}
+
+// TestObsCountersConsistentAcrossSchemes runs the router case study
+// under all three schemes and cross-checks the obs snapshot against the
+// run's own ground truth: the substrate counters must be present and
+// non-zero everywhere, the GDB-Wrapper's RSP round trips must track
+// clock cycles (one qRun transaction per cycle, §2's per-cycle IPC
+// cost), and the Driver-Kernel's message counters must reconcile
+// exactly with the transfer journal.
+func TestObsCountersConsistentAcrossSchemes(t *testing.T) {
+	for _, s := range Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			jl := core.NewJournal(0)
+			res, err := Run(Params{
+				Scheme:    s,
+				Transport: core.TransportPipe,
+				SimTime:   sim.MS,
+				Seed:      7,
+				Journal:   jl,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Counters
+			if len(c) == 0 {
+				t.Fatal("run produced an empty counter snapshot")
+			}
+
+			// Substrate metrics every scheme must populate.
+			for _, name := range []string{
+				"iss.instructions", "iss.cycles",
+				"sim.cycles", "sim.activations", "sim.cycle_hook_ns.count",
+			} {
+				if counter(t, c, name) == 0 {
+					t.Errorf("counter %q = 0, want > 0", name)
+				}
+			}
+			if got := counter(t, c, "iss.instructions"); got != res.GuestInstructions {
+				t.Errorf("iss.instructions = %d, Result.GuestInstructions = %d", got, res.GuestInstructions)
+			}
+
+			cycles := counter(t, c, "sim.cycles")
+			switch s {
+			case GDBWrapper, GDBKernel:
+				// The begin-of-cycle poll runs once per clock cycle
+				// until the guest exits or fails (it never does here).
+				polls := counter(t, c, "cosim.polls")
+				if polls == 0 || polls > cycles {
+					t.Errorf("cosim.polls = %d, want in (0, sim.cycles=%d]", polls, cycles)
+				}
+				if got := counter(t, c, "rsp.round_trips"); got == 0 {
+					t.Error("rsp.round_trips = 0, want > 0")
+				}
+				stops := counter(t, c, "cosim.stops")
+				hits := counter(t, c, "cosim.breakpoint_hits") + counter(t, c, "cosim.watchpoint_hits")
+				if stops != hits {
+					t.Errorf("cosim.stops = %d, breakpoint+watchpoint hits = %d", stops, hits)
+				}
+				// Both engine schemes journal exactly the variable
+				// transfers they count.
+				transfers := counter(t, c, "cosim.transfers_to_sc") + counter(t, c, "cosim.transfers_to_iss")
+				if transfers != uint64(jl.Len()) {
+					t.Errorf("transfer counters = %d, journal entries = %d", transfers, jl.Len())
+				}
+			case DriverKernel:
+				// Raw inbound messages split exactly into WRITEs and
+				// READs; the journal records each WRITE received and
+				// each DATA reply served, nothing else.
+				msgs := counter(t, c, "driver.messages")
+				writes := counter(t, c, "driver.msgs_write")
+				reads := counter(t, c, "driver.msgs_read")
+				replies := counter(t, c, "driver.data_replies")
+				if msgs != writes+reads {
+					t.Errorf("driver.messages = %d, msgs_write+msgs_read = %d", msgs, writes+reads)
+				}
+				if writes+replies != uint64(jl.Len()) {
+					t.Errorf("msgs_write+data_replies = %d, journal entries = %d", writes+replies, jl.Len())
+				}
+				if got := counter(t, c, "driver.interrupts"); got != res.CoStats.IntsNotified {
+					t.Errorf("driver.interrupts = %d, CoStats.IntsNotified = %d", got, res.CoStats.IntsNotified)
+				}
+			}
+
+			// The wrapper's lock-step quantum is one qRun transaction
+			// per non-waiting cycle, so its RSP round trips are bounded
+			// by the cycle count (plus per-stop servicing and setup)
+			// and must at least cover every stop and every variable
+			// transfer, each of which costs a synchronous transaction.
+			if s == GDBWrapper {
+				rts := counter(t, c, "rsp.round_trips")
+				polls := counter(t, c, "cosim.polls")
+				stops := counter(t, c, "cosim.stops")
+				transfers := counter(t, c, "cosim.transfers_to_sc") + counter(t, c, "cosim.transfers_to_iss")
+				if min := stops + transfers; rts < min {
+					t.Errorf("rsp.round_trips = %d < stops+transfers = %d; transactions unaccounted", rts, min)
+				}
+				if max := 2*polls + 10*stops + 100; rts > max {
+					t.Errorf("rsp.round_trips = %d > %d; per-cycle transaction bound broken", rts, max)
+				}
+			}
+		})
+	}
+}
+
+// failWriter errors after the first write, like a full disk mid-trace.
+type failWriter struct{ n int }
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errDiskFull
+	}
+	return len(p), nil
+}
+
+// TestTraceErrPropagated guards the fix for the swallowed VCD writer
+// error: a tracer that fails mid-run must surface through
+// Result.TraceErr (and Metrics.TraceErr), not vanish.
+func TestTraceErrPropagated(t *testing.T) {
+	res, err := Run(Params{
+		Scheme:    GDBKernel,
+		Transport: core.TransportPipe,
+		SimTime:   200 * sim.US,
+		Seed:      3,
+		Trace:     &failWriter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceErr == nil {
+		t.Fatal("Result.TraceErr = nil, want the tracer's write error")
+	}
+	if !errors.Is(res.TraceErr, errDiskFull) {
+		t.Errorf("Result.TraceErr = %v, want wrapped errDiskFull", res.TraceErr)
+	}
+	if m := res.Metrics(); m.TraceErr == "" {
+		t.Error("Metrics.TraceErr empty, want the error string")
+	}
+}

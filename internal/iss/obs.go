@@ -1,0 +1,12 @@
+package iss
+
+import "cosim/internal/obs"
+
+// PublishObs accumulates the CPU's execution counters into the
+// registry: iss.instructions and iss.cycles. Counters (not gauges) so
+// multi-processor configurations sum naturally — call once per CPU
+// after the guest has been quiesced. Safe on a nil registry.
+func (c *CPU) PublishObs(r *obs.Registry) {
+	r.Counter("iss.instructions").Add(c.Instructions())
+	r.Counter("iss.cycles").Add(c.Cycles())
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"cosim/internal/obs"
 )
 
 // updatable is implemented by primitive channels (Signal, Fifo) whose
@@ -25,9 +27,15 @@ type CycleHook func(k *Kernel)
 type Kernel struct {
 	name string
 
-	now        Time
-	deltaCount uint64 // total delta cycles executed
-	cycleCount uint64 // total timed simulation cycles executed
+	now         Time
+	deltaCount  uint64 // total delta cycles executed
+	cycleCount  uint64 // total timed simulation cycles executed
+	activations uint64 // total process activations executed
+
+	// hookNS, when set via SetObs, receives the wall-clock latency of
+	// the begin-of-cycle hook chain — the per-cycle cost the paper's
+	// kernel-embedded schemes add to the scheduler.
+	hookNS *obs.Histogram
 
 	runnable []*Proc
 	updates  []updatable
@@ -73,6 +81,26 @@ func (k *Kernel) DeltaCount() uint64 { return k.deltaCount }
 // CycleCount returns the number of timed simulation cycles executed so
 // far (the number of distinct time points visited).
 func (k *Kernel) CycleCount() uint64 { return k.cycleCount }
+
+// Activations returns the number of process activations executed so far.
+func (k *Kernel) Activations() uint64 { return k.activations }
+
+// SetObs attaches an observability registry to the kernel: the
+// begin-of-cycle hook chain is timed into the "sim.cycle_hook_ns"
+// histogram. A nil registry detaches (and removes the per-cycle timing
+// entirely).
+func (k *Kernel) SetObs(r *obs.Registry) {
+	k.hookNS = r.Histogram("sim.cycle_hook_ns")
+}
+
+// PublishObs copies the kernel's scheduler counters into the registry
+// as gauges: sim.cycles, sim.delta_cycles, sim.activations. Call it
+// after (or during) a run; safe on a nil registry.
+func (k *Kernel) PublishObs(r *obs.Registry) {
+	r.Gauge("sim.cycles").Set(k.cycleCount)
+	r.Gauge("sim.delta_cycles").Set(k.deltaCount)
+	r.Gauge("sim.activations").Set(k.activations)
+}
 
 // AddCycleHook registers a hook called at the beginning of every
 // simulation cycle, before the first evaluation phase of that time
@@ -125,9 +153,11 @@ func (k *Kernel) Run(until Time) error {
 	for {
 		// ---- begin of simulation cycle (paper: Figure 3 / Figure 5) ----
 		k.cycleCount++
+		sp := k.hookNS.Start()
 		for _, h := range k.cycleHooks {
 			h(k)
 		}
+		sp.End()
 
 		// Delta loop: evaluate / update / delta-notify until quiescent.
 		for {

@@ -143,6 +143,7 @@ func (p *Proc) start() {
 // completion, threads run until their next Wait (or return).
 func (k *Kernel) runProc(p *Proc) {
 	k.current = p
+	k.activations++
 	switch p.kind {
 	case methodProc, issProc:
 		p.fn()
