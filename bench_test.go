@@ -151,6 +151,62 @@ func BenchmarkAblationPolling(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationDecodeCache isolates the predecoded-instruction
+// cache (DESIGN.md §5.5). The engine-* sub-benchmarks run the raw ISS
+// hot loop for exactly b.N instructions, so ns/op is ns/instruction:
+// cached replaces the per-step bus fetch + map-based decode with one
+// array load. The scheme sub-benchmarks measure the end-to-end effect
+// on a Table 1 run via harness.Params.NoDecodeCache (benchtab's
+// -nodecodecache flag).
+func BenchmarkAblationDecodeCache(b *testing.B) {
+	engine := func(b *testing.B, cached bool) {
+		im, err := asm.Assemble(asm.Options{}, asm.Source{Name: "spin.s", Text: `
+_start:
+spin:
+    addi s0, s0, 1
+    add  s1, s1, s0
+    addi t0, s1, 7
+    j    spin
+`})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ram := iss.NewRAM(1 << 20)
+		if err := im.LoadInto(ram); err != nil {
+			b.Fatal(err)
+		}
+		cpu := iss.New(iss.NewSystemBus(ram))
+		cpu.SetDecodeCacheEnabled(cached)
+		cpu.Reset(im.Entry)
+		b.ResetTimer()
+		stop, n := cpu.Run(uint64(b.N))
+		if stop != iss.StopBudget || n != uint64(b.N) {
+			b.Fatalf("stop = %v after %d/%d instructions", stop, n, b.N)
+		}
+	}
+	b.Run("engine-cached", func(b *testing.B) { engine(b, true) })
+	b.Run("engine-uncached", func(b *testing.B) { engine(b, false) })
+	for _, scheme := range harness.Schemes {
+		for _, cached := range []bool{true, false} {
+			b.Run(fmt.Sprintf("%s/cache=%v", scheme, cached), func(b *testing.B) {
+				p := benchParams()
+				p.Scheme = scheme
+				p.SimTime = 2 * sim.MS
+				p.NoDecodeCache = !cached
+				for i := 0; i < b.N; i++ {
+					res, err := harness.Run(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Forwarded == 0 {
+						b.Fatal("no traffic forwarded")
+					}
+				}
+			})
+		}
+	}
+}
+
 // gdbClient attaches an RSP client to a target for the ablations.
 func gdbClient(t *core.GDBTarget, buffered bool) *gdb.Client {
 	return gdb.NewClient(t.HostConn, gdb.ClientOptions{UseReaderGoroutine: buffered})

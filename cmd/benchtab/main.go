@@ -69,6 +69,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "traffic seed")
 	parallel := flag.Int("parallel", 1, "experiment sweep workers (1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable metrics report")
+	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
 	flag.Parse()
 
 	tr := core.TransportTCP
@@ -81,7 +82,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	base := harness.Params{Transport: tr, Delay: d, Seed: *seed}
+	base := harness.Params{Transport: tr, Delay: d, Seed: *seed, NoDecodeCache: *noDC}
 
 	simTimes := []sim.Time{2 * sim.MS, 10 * sim.MS, 50 * sim.MS}
 	if *full {

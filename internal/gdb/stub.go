@@ -361,22 +361,37 @@ func (s *Stub) writeMemBin(arg []byte) []byte {
 }
 
 // writeMem stores bytes, keeping software breakpoints planted: writes
-// covering a planted word update the saved original instead.
+// covering a planted word update the saved original instead. The
+// written range is invalidated in the ISS's decode cache — a debugger
+// patching live code must not leave stale predecoded entries behind.
 func (s *Stub) writeMem(addr uint32, data []byte) []byte {
 	s.unplantAll()
+	var werr error
 	for i, b := range data {
-		if err := s.cpu.Bus().Write(addr+uint32(i), 1, uint32(b)); err != nil {
-			s.replantAll()
-			return []byte("E02")
+		if werr = s.cpu.Bus().Write(addr+uint32(i), 1, uint32(b)); werr != nil {
+			break
 		}
 	}
+	s.cpu.InvalidateDecode(addr, uint32(len(data)))
 	s.replantAll()
+	if werr != nil {
+		return []byte("E02")
+	}
 	return []byte("OK")
+}
+
+// pokeWord writes one word of guest memory on the debugger's behalf and
+// drops its predecoded entry — EBREAK planting patches code under the
+// ISS's feet.
+func (s *Stub) pokeWord(addr, v uint32) error {
+	err := s.cpu.Bus().Write(addr, 4, v)
+	s.cpu.InvalidateDecode(addr, 4)
+	return err
 }
 
 func (s *Stub) unplantAll() {
 	for addr, orig := range s.planted {
-		_ = s.cpu.Bus().Write(addr, 4, orig)
+		_ = s.pokeWord(addr, orig)
 	}
 }
 
@@ -384,7 +399,7 @@ func (s *Stub) replantAll() {
 	for addr := range s.planted {
 		v, _ := s.cpu.Bus().Read(addr, 4)
 		s.planted[addr] = v
-		_ = s.cpu.Bus().Write(addr, 4, isa.BreakpointWord)
+		_ = s.pokeWord(addr, isa.BreakpointWord)
 	}
 }
 
@@ -410,7 +425,7 @@ func (s *Stub) setPoint(arg []byte) []byte {
 		if err != nil {
 			return []byte("E02")
 		}
-		if err := s.cpu.Bus().Write(addr, 4, isa.BreakpointWord); err != nil {
+		if err := s.pokeWord(addr, isa.BreakpointWord); err != nil {
 			return []byte("E02")
 		}
 		s.planted[addr] = orig
@@ -436,7 +451,7 @@ func (s *Stub) clearPoint(arg []byte) []byte {
 	switch ptype {
 	case 0:
 		if orig, ok := s.planted[addr]; ok {
-			_ = s.cpu.Bus().Write(addr, 4, orig)
+			_ = s.pokeWord(addr, orig)
 			delete(s.planted, addr)
 		}
 		return []byte("OK")
@@ -516,12 +531,12 @@ func (s *Stub) runQuantum(arg []byte) []byte {
 	// reported stop.
 	if orig, ok := s.planted[s.cpu.PC]; ok && s.resumingFromBP() {
 		bpAddr := s.cpu.PC
-		_ = s.cpu.Bus().Write(bpAddr, 4, orig)
+		_ = s.pokeWord(bpAddr, orig)
 		s.cpu.StepOverBreakpoint()
 		before := s.cpu.Instructions()
 		st := s.cpu.Step()
 		executed += s.cpu.Instructions() - before
-		_ = s.cpu.Bus().Write(bpAddr, 4, isa.BreakpointWord)
+		_ = s.pokeWord(bpAddr, isa.BreakpointWord)
 		if r := s.stopReply(st); r != nil && st != iss.StopBreak && st != iss.StopEBreak {
 			return r
 		}
@@ -552,10 +567,10 @@ func (s *Stub) resume(step bool, arg []byte) []byte {
 	// instruction, replant.
 	if orig, ok := s.planted[s.cpu.PC]; ok && s.resumingFromBP() {
 		bpAddr := s.cpu.PC
-		_ = s.cpu.Bus().Write(bpAddr, 4, orig)
+		_ = s.pokeWord(bpAddr, orig)
 		s.cpu.StepOverBreakpoint()
 		st := s.cpu.Step()
-		_ = s.cpu.Bus().Write(bpAddr, 4, isa.BreakpointWord)
+		_ = s.pokeWord(bpAddr, isa.BreakpointWord)
 		if r := s.stopReply(st); r != nil && st != iss.StopBreak && st != iss.StopEBreak {
 			return r
 		}

@@ -107,6 +107,11 @@ type Params struct {
 	PacketsPerSource uint64 // 0 = unlimited
 	Seed             int64
 
+	// NoDecodeCache disables the ISS predecoded-instruction cache on
+	// every CPU in the run — the ablation baseline behind benchtab's
+	// -nodecodecache flag.
+	NoDecodeCache bool
+
 	// Trace, when set, receives a VCD of router occupancy.
 	Trace io.Writer
 	// Journal, when set, records every co-simulation transfer.
@@ -246,6 +251,9 @@ func Run(p Params) (*Result, error) {
 				return nil, err
 			}
 			cpu := iss.New(iss.NewSystemBus(ram))
+			if p.NoDecodeCache {
+				cpu.SetDecodeCacheEnabled(false)
+			}
 			cpu.Reset(im.Entry)
 			target, err := core.StartGDBTarget(cpu, p.Transport)
 			if err != nil {
@@ -281,6 +289,9 @@ func Run(p Params) (*Result, error) {
 			return nil, err
 		}
 		plat := dev.NewPlatform(0, nil)
+		if p.NoDecodeCache {
+			plat.CPU.SetDecodeCacheEnabled(false)
+		}
 		if err := im.LoadInto(plat.RAM); err != nil {
 			return nil, err
 		}

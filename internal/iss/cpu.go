@@ -105,12 +105,20 @@ type CPU struct {
 	profile *Profile
 
 	lastWatchAddr uint32
+
+	// Decode-once execution engine (see decode_cache.go): nil runs the
+	// legacy bus.Read + isa.Decode per-step engine.
+	dc              *decodeCache
+	dcHits          uint64
+	dcMisses        uint64
+	dcInvalidations uint64
 }
 
 // New creates a CPU attached to the bus, with all interrupt lines
-// enabled and the default CPI model.
+// enabled, the default CPI model, and (when the bus exposes a RAM) the
+// predecoded fast fetch path active.
 func New(bus Bus) *CPU {
-	return &CPU{
+	c := &CPU{
 		bus:         bus,
 		cpi:         DefaultCPI,
 		irqEnabled:  0xff,
@@ -118,6 +126,64 @@ func New(bus Bus) *CPU {
 		watchpoints: make(map[uint32]uint32),
 		wakeCh:      make(chan struct{}, 1),
 	}
+	c.enableDecodeCache()
+	return c
+}
+
+// enableDecodeCache sizes the predecode cache from the bus's backing
+// RAM. Buses that don't expose a RAM (custom Bus implementations) run
+// uncached: the cache could not see their memory mutations to
+// invalidate against.
+func (c *CPU) enableDecodeCache() {
+	var limit uint32
+	switch b := c.bus.(type) {
+	case *SystemBus:
+		limit = b.ram.Size()
+	case *RAM:
+		limit = b.Size()
+	default:
+		c.dc = nil
+		return
+	}
+	c.dc = newDecodeCache(limit)
+	for addr := range c.breakpoints {
+		c.dcSetBP(addr)
+	}
+}
+
+// SetDecodeCacheEnabled switches the predecoded fast fetch path on or
+// off (on by default when the bus exposes a RAM). Disabling it restores
+// the per-instruction bus.Read + isa.Decode engine — the ablation
+// baseline exposed by benchtab's -nodecodecache flag.
+func (c *CPU) SetDecodeCacheEnabled(enabled bool) {
+	if !enabled {
+		c.dc = nil
+		return
+	}
+	if c.dc == nil {
+		c.enableDecodeCache()
+	}
+}
+
+// DecodeCacheEnabled reports whether the fast fetch path is active.
+func (c *CPU) DecodeCacheEnabled() bool { return c.dc != nil }
+
+// DecodeCacheStats returns the fast-path hit, decode-miss and
+// invalidated-entry totals.
+func (c *CPU) DecodeCacheStats() (hits, misses, invalidations uint64) {
+	return c.dcHits, c.dcMisses, c.dcInvalidations
+}
+
+// InvalidateDecode drops predecoded entries overlapping [addr, addr+n).
+// Writers that mutate guest memory without going through CPU stores —
+// the GDB stub's M/X writes and EBREAK planting, DMA-style device
+// models — must call this to keep the cache coherent. CPU stores
+// invalidate automatically.
+func (c *CPU) InvalidateDecode(addr, n uint32) {
+	if c.dc == nil {
+		return
+	}
+	c.dcInvalidations += c.dc.invalidate(addr, n)
 }
 
 // SetCPI replaces the cycle cost model.
@@ -139,6 +205,8 @@ func (c *CPU) Halted() bool { return c.halted }
 func (c *CPU) Sleeping() bool { return c.sleeping }
 
 // Reset returns the CPU to its power-on state, keeping breakpoints.
+// Predecoded entries are dropped so a freshly loaded image is never
+// executed through a stale cache.
 func (c *CPU) Reset(pc uint32) {
 	c.Regs = [isa.NumRegs]uint32{}
 	c.SR = [isa.NumSRegs]uint32{}
@@ -146,15 +214,38 @@ func (c *CPU) Reset(pc uint32) {
 	c.cycles, c.icount = 0, 0
 	c.halted, c.sleeping, c.stepOverBP = false, false, false
 	atomic.StoreUint32(&c.irqPending, 0)
+	if c.dc != nil {
+		c.dc.flush()
+	}
 }
 
 // --- breakpoints / watchpoints -------------------------------------------
 
-// AddBreakpoint arms a hardware breakpoint at addr.
-func (c *CPU) AddBreakpoint(addr uint32) { c.breakpoints[addr] = struct{}{} }
+// AddBreakpoint arms a hardware breakpoint at addr. Effective
+// immediately, including between Run calls on the cached engine: the
+// breakpoint is patched into the decode cache's entry flags.
+func (c *CPU) AddBreakpoint(addr uint32) {
+	c.breakpoints[addr] = struct{}{}
+	c.dcSetBP(addr)
+}
 
 // RemoveBreakpoint disarms the breakpoint at addr.
-func (c *CPU) RemoveBreakpoint(addr uint32) { delete(c.breakpoints, addr) }
+func (c *CPU) RemoveBreakpoint(addr uint32) {
+	delete(c.breakpoints, addr)
+	if c.dc != nil && addr < c.dc.limit && addr%isa.Word == 0 {
+		if e := c.dc.peek(addr); e != nil {
+			e.flags &^= dcBP
+		}
+	}
+}
+
+// dcSetBP folds breakpoint presence into the cached entry so the fast
+// loop tests a flag instead of a map.
+func (c *CPU) dcSetBP(addr uint32) {
+	if c.dc != nil && addr < c.dc.limit && addr%isa.Word == 0 {
+		c.dc.entry(addr).flags |= dcBP
+	}
+}
 
 // HasBreakpoint reports whether a breakpoint is armed at addr.
 func (c *CPU) HasBreakpoint(addr uint32) bool {

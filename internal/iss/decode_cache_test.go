@@ -1,0 +1,232 @@
+package iss
+
+import (
+	"testing"
+
+	"cosim/internal/isa"
+)
+
+// bothEngines runs fn under the cached and the uncached execution
+// engines, pinning every behavioral contract on both paths.
+func bothEngines(t *testing.T, fn func(t *testing.T, cached bool)) {
+	t.Run("cached", func(t *testing.T) { fn(t, true) })
+	t.Run("uncached", func(t *testing.T) { fn(t, false) })
+}
+
+// selfModifyProg executes patchme once, overwrites it with the
+// instruction stored at newinst, loops back, and halts after the
+// second pass. A stale decode would leave a0 == 2.
+const selfModifyProg = `
+_start:
+    addi a2, zero, 0
+loop:
+patchme:
+    addi a0, zero, 2
+    addi a2, a2, 1
+    addi t3, zero, 2
+    beq  a2, t3, done
+    la   t0, patchme
+    la   t1, newinst
+    lw   t2, 0(t1)
+    sw   t2, 0(t0)
+    j    loop
+done:
+    halt
+newinst:
+    addi a0, zero, 101
+`
+
+func TestSelfModifyingCode(t *testing.T) {
+	bothEngines(t, func(t *testing.T, cached bool) {
+		c, _ := buildCPU(t, selfModifyProg)
+		c.SetDecodeCacheEnabled(cached)
+		runToHalt(t, c, 100)
+		if got := c.Regs[10]; got != 101 {
+			t.Fatalf("a0 = %d, want 101 (patched instruction not executed)", got)
+		}
+		hits, _, inv := c.DecodeCacheStats()
+		if cached {
+			if hits == 0 {
+				t.Error("decode cache reported zero hits")
+			}
+			if inv == 0 {
+				t.Error("store into executed code caused no invalidation")
+			}
+		} else if hits != 0 {
+			t.Errorf("uncached engine counted %d hits", hits)
+		}
+	})
+}
+
+func TestSelfModifyingCodeByteStore(t *testing.T) {
+	// Patch only the low immediate byte of "addi a0, zero, 2" with a
+	// byte store: sub-word writes must invalidate the covering word.
+	bothEngines(t, func(t *testing.T, cached bool) {
+		c, _ := buildCPU(t, `
+_start:
+    addi a2, zero, 0
+loop:
+patchme:
+    addi a0, zero, 2
+    addi a2, a2, 1
+    addi t3, zero, 2
+    beq  a2, t3, done
+    la   t0, patchme
+    addi t1, zero, 101
+    sb   t1, 0(t0)
+    j    loop
+done:
+    halt
+`)
+		c.SetDecodeCacheEnabled(cached)
+		runToHalt(t, c, 100)
+		if got := c.Regs[10]; got != 101 {
+			t.Fatalf("a0 = %d, want 101 (byte patch not executed)", got)
+		}
+	})
+}
+
+func TestMidRunAddBreakpoint(t *testing.T) {
+	bothEngines(t, func(t *testing.T, cached bool) {
+		c, im := buildCPU(t, `
+_start:
+loop:
+    addi s0, s0, 1
+    j    loop
+`)
+		c.SetDecodeCacheEnabled(cached)
+		// Warm the loop so its instructions are decoded before the
+		// breakpoint is armed.
+		if stop, _ := c.Run(100); stop != StopBudget {
+			t.Fatalf("warmup stop = %v", stop)
+		}
+		bp := im.MustSymbol("loop")
+		c.AddBreakpoint(bp)
+		stop, _ := c.Run(1000)
+		if stop != StopBreak {
+			t.Fatalf("stop = %v, want break", stop)
+		}
+		if c.PC != bp {
+			t.Fatalf("stopped at %#x, want %#x", c.PC, bp)
+		}
+		// Resume: the engine must step over the breakpointed
+		// instruction, run one loop iteration, and stop again.
+		before := c.Regs[4]
+		stop, n := c.Run(1000)
+		if stop != StopBreak || c.PC != bp {
+			t.Fatalf("resume stop = %v at %#x, want break at %#x", stop, c.PC, bp)
+		}
+		if n != 2 || c.Regs[4] != before+1 {
+			t.Fatalf("resume ran %d steps, s0 %d -> %d; want one iteration", n, before, c.Regs[4])
+		}
+		// Clearing the breakpoint lets the loop run freely again.
+		c.RemoveBreakpoint(bp)
+		if stop, _ := c.Run(100); stop != StopBudget {
+			t.Fatalf("post-clear stop = %v", stop)
+		}
+	})
+}
+
+func TestFetchBusErrorCause(t *testing.T) {
+	bothEngines(t, func(t *testing.T, cached bool) {
+		c, _ := buildCPU(t, `
+_start:
+    li   t0, 0x100
+    mtsr ivec, t0
+    li   t1, 0x200000    ; aligned, beyond the 1 MiB RAM
+    jalr zero, t1, 0
+.org 0x100
+handler:
+    mfsr a0, cause
+    halt
+`)
+		c.SetDecodeCacheEnabled(cached)
+		runToHalt(t, c, 100)
+		if got := c.Regs[10]; got != isa.CauseBus {
+			t.Fatalf("cause = %d, want bus error (%d)", got, isa.CauseBus)
+		}
+	})
+}
+
+func TestLoadStoreBusErrorCause(t *testing.T) {
+	for _, tc := range []struct {
+		name, access string
+		want         uint32
+	}{
+		{"load-beyond-ram", "lw   a1, 0(t1)", isa.CauseBus},
+		{"store-beyond-ram", "sw   a1, 0(t1)", isa.CauseBus},
+		{"misaligned-load", "lw   a1, 1(zero)", isa.CauseAlign},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := buildCPU(t, `
+_start:
+    li   t0, 0x100
+    mtsr ivec, t0
+    li   t1, 0x200000
+    `+tc.access+`
+    halt
+.org 0x100
+handler:
+    mfsr a0, cause
+    halt
+`)
+			runToHalt(t, c, 100)
+			if got := c.Regs[10]; got != tc.want {
+				t.Fatalf("cause = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeCacheCounters(t *testing.T) {
+	c, _ := buildCPU(t, `
+_start:
+    addi t0, zero, 50
+loop:
+    addi s0, s0, 1
+    bne  s0, t0, loop
+    halt
+`)
+	runToHalt(t, c, 1000)
+	hits, misses, inv := c.DecodeCacheStats()
+	if misses == 0 || hits == 0 {
+		t.Fatalf("hits = %d, misses = %d; want both nonzero", hits, misses)
+	}
+	if hits <= misses {
+		t.Fatalf("hits = %d <= misses = %d; loop should be dominated by hits", hits, misses)
+	}
+	if inv != 0 {
+		t.Fatalf("invalidations = %d, want 0 (no code stores)", inv)
+	}
+}
+
+func TestDecodeCacheToggle(t *testing.T) {
+	c, im := buildCPU(t, `
+_start:
+loop:
+    addi s0, s0, 1
+    j    loop
+`)
+	c.SetDecodeCacheEnabled(false)
+	if c.DecodeCacheEnabled() {
+		t.Fatal("cache still enabled after disable")
+	}
+	if stop, _ := c.Run(100); stop != StopBudget {
+		t.Fatalf("stop = %v", stop)
+	}
+	if hits, misses, _ := c.DecodeCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled engine counted hits=%d misses=%d", hits, misses)
+	}
+	// Breakpoints added while disabled must be honored after re-enable:
+	// the flag re-seed in enableDecodeCache covers them.
+	bp := im.MustSymbol("loop")
+	c.AddBreakpoint(bp)
+	c.SetDecodeCacheEnabled(true)
+	if !c.DecodeCacheEnabled() {
+		t.Fatal("cache not enabled")
+	}
+	stop, _ := c.Run(1000)
+	if stop != StopBreak || c.PC != bp {
+		t.Fatalf("stop = %v at %#x, want break at %#x", stop, c.PC, bp)
+	}
+}

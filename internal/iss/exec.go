@@ -29,21 +29,73 @@ func (c *CPU) Step() Stop {
 	if _, bp := c.breakpoints[c.PC]; bp && !c.stepOverBP {
 		return StopBreak
 	}
+	return c.fetchExec()
+}
 
-	if c.PC%isa.Word != 0 {
-		return c.fault(isa.CauseAlign)
+// fetchExec fetches, decodes and executes one instruction, taking the
+// predecoded fast path when the PC is covered by the cache.
+func (c *CPU) fetchExec() Stop {
+	if d := c.dc; d != nil && c.PC < d.limit && c.PC%isa.Word == 0 {
+		e := d.entry(c.PC)
+		if e.flags&dcDecoded != 0 {
+			c.dcHits++
+			c.stepOverBP = false
+			return c.exec(e.inst)
+		}
+		return c.fillExec(e)
 	}
+	return c.fetchExecSlow()
+}
+
+// fillExec services a decode miss: fetch the word at PC, decode it into
+// the cache slot, and execute it.
+func (c *CPU) fillExec(e *dcEntry) Stop {
 	w, err := c.bus.Read(c.PC, 4)
 	if err != nil {
-		return c.fault(isa.CauseAlign)
+		return c.fault(isa.CauseBus)
 	}
 	inst, derr := isa.Decode(w)
 	if derr != nil {
 		return c.fault(isa.CauseIllegal)
 	}
+	c.stepOverBP = false
+	if !c.busIsRAM(c.PC) {
+		// Device-mapped code is never cached: the device may return a
+		// different word on the next fetch.
+		return c.exec(inst)
+	}
+	c.dcMisses++
+	e.inst = inst
+	e.flags |= dcDecoded
+	return c.exec(inst)
+}
 
+// fetchExecSlow is the uncached engine: one bus fetch and one decode
+// per step.
+func (c *CPU) fetchExecSlow() Stop {
+	if c.PC%isa.Word != 0 {
+		return c.fault(isa.CauseAlign)
+	}
+	w, err := c.bus.Read(c.PC, 4)
+	if err != nil {
+		return c.fault(isa.CauseBus)
+	}
+	inst, derr := isa.Decode(w)
+	if derr != nil {
+		return c.fault(isa.CauseIllegal)
+	}
 	c.stepOverBP = false
 	return c.exec(inst)
+}
+
+// busIsRAM reports whether addr is plain RAM (no device overlay) on the
+// CPU's bus; plain-RAM buses trivially qualify.
+func (c *CPU) busIsRAM(addr uint32) bool {
+	if b, ok := c.bus.(*SystemBus); ok {
+		_, dev := b.find(addr)
+		return !dev
+	}
+	return true
 }
 
 // fault routes a synchronous fault to the trap vector if one is
@@ -149,7 +201,7 @@ func (c *CPU) exec(i isa.Inst) Stop {
 		}
 		v, err := c.bus.Read(addr, size)
 		if err != nil {
-			return c.fault(isa.CauseAlign)
+			return c.fault(isa.CauseBus)
 		}
 		switch i.Op {
 		case isa.LH:
@@ -168,9 +220,14 @@ func (c *CPU) exec(i isa.Inst) Stop {
 			return c.fault(isa.CauseAlign)
 		}
 		if err := c.bus.Write(addr, size, c.Regs[i.Rd]); err != nil {
-			return c.fault(isa.CauseAlign)
+			return c.fault(isa.CauseBus)
 		}
-		if c.watchTriggered(addr, size) {
+		if d := c.dc; d != nil && addr < d.limit {
+			// Self-modifying code: drop any predecoded entry the store
+			// clobbers.
+			c.dcInvalidations += d.invalidate(addr, uint32(size))
+		}
+		if len(c.watchpoints) != 0 && c.watchTriggered(addr, size) {
 			if c.profile != nil {
 				c.profile.record(c.PC, cost)
 			}
@@ -291,11 +348,98 @@ func (c *CPU) refreshCycleSRs() {
 	c.SR[isa.SRCycleH] = uint32(c.cycles >> 32)
 }
 
+// checkInterval is how many instructions the batched hot loop retires
+// between re-checks of the halted/sleeping/interrupt conditions. It
+// bounds IRQ delivery latency and matches dev.TickQuantum, so platform
+// timer jitter is unchanged by batching.
+const checkInterval = 64
+
 // Run executes up to budget instructions, returning the stop reason and
 // the number of instructions actually executed. When resuming from a
 // hardware breakpoint, the instruction at the breakpoint executes first.
+//
+// On the cached engine the halted/sleeping/IRQ checks are hoisted out
+// of the per-instruction path and re-run every checkInterval
+// instructions or whenever the inner loop exits on a stop; breakpoints
+// still hit exactly (they are folded into the cache entries).
 func (c *CPU) Run(budget uint64) (Stop, uint64) {
 	start := c.icount
+	if c.dc == nil {
+		return c.runUncached(budget, start)
+	}
+	for steps := uint64(0); steps < budget; {
+		// Hoisted slow checks: Step's prologue, batched.
+		if c.halted {
+			return StopHalt, c.icount - start
+		}
+		if c.sleeping {
+			if c.PendingIRQ() == 0 {
+				return StopIdle, c.icount - start
+			}
+			c.sleeping = false
+		}
+		if c.checkIRQ() {
+			steps++ // trap entry consumes a step without retiring
+			continue
+		}
+		batch := budget - steps
+		if batch > checkInterval {
+			batch = checkInterval
+		}
+		stop, n := c.runBatch(batch)
+		steps += n
+		if stop != StopBudget {
+			if stop == StopBreak {
+				c.stepOverBP = true
+			}
+			return stop, c.icount - start
+		}
+	}
+	return StopBudget, c.icount - start
+}
+
+// runBatch is the predecoded inner loop: up to n instructions with no
+// interrupt/halt re-checks (the caller has just done them; exec-side
+// stops still exit immediately). Returns the stop and steps consumed.
+func (c *CPU) runBatch(n uint64) (Stop, uint64) {
+	d := c.dc
+	for i := uint64(0); i < n; i++ {
+		pc := c.PC
+		if pc < d.limit && pc%isa.Word == 0 {
+			if e := d.entry(pc); e.flags&dcDecoded != 0 {
+				if e.flags&dcBP != 0 && !c.stepOverBP {
+					return StopBreak, i
+				}
+				c.dcHits++
+				c.stepOverBP = false
+				if s := c.exec(e.inst); s != StopBudget {
+					return s, i + 1
+				}
+				switch e.inst.Op {
+				case isa.MTSR, isa.ERET, isa.WFI:
+					// Interrupt deliverability may have changed (IE
+					// toggled, trap return, wake with pending line):
+					// hand control back to the hoisted checks now
+					// rather than at the batch boundary.
+					return StopBudget, i + 1
+				}
+				continue
+			}
+		}
+		// Decode miss or uncacheable PC: full per-step semantics minus
+		// the hoisted prologue, then back to the outer checks — for an
+		// unknown opcode the batch must not outrun an IE change.
+		if _, bp := c.breakpoints[pc]; bp && !c.stepOverBP {
+			return StopBreak, i
+		}
+		return c.fetchExec(), i + 1
+	}
+	return StopBudget, n
+}
+
+// runUncached is the legacy engine's run loop: a full Step — with
+// per-instruction interrupt and breakpoint checks — every iteration.
+func (c *CPU) runUncached(budget, start uint64) (Stop, uint64) {
 	// Each Step is at most one instruction; trap entries consume a step
 	// without retiring an instruction, which bounds the loop regardless.
 	for steps := uint64(0); steps < budget; steps++ {
