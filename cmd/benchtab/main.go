@@ -5,7 +5,8 @@
 // Usage:
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
-//	         [-scheme NAME] [-transport tcp|pipe] [-parallel N] [-json]
+//	         [-scheme NAME] [-cpus N] [-transport tcp|pipe]
+//	         [-parallel N] [-json]
 //
 // -full uses the paper-scale simulated durations (slow); the default
 // uses scaled-down durations with identical workload structure, and
@@ -13,6 +14,10 @@
 // -scheme restricts the sweep to a single scheme; the folded
 // table/figure artifacts need the full sweep, so a filtered run emits
 // only the per-run records.
+// -cpus sweeps a multi-processor SoC: the router's checksum work is
+// partitioned across N guest CPUs. Only gdb-kernel and driver-kernel
+// drive more than one CPU, so a multi-CPU Table 1 sweep drops the
+// GDB-Wrapper baseline and reports per-run records.
 // -parallel runs the experiment sweep on N workers: every run owns its
 // kernel, ISS and sockets, so scheme results are identical to the
 // sequential sweep — only total wall time drops. -json replaces the
@@ -67,6 +72,7 @@ func main() {
 	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
 	delay := flag.String("delay", "20us", "inter-packet delay for Table 1")
 	seed := flag.Int64("seed", 1, "traffic seed")
+	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (gdb-kernel and driver-kernel)")
 	parallel := flag.Int("parallel", 1, "experiment sweep workers (1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable metrics report")
 	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
@@ -82,7 +88,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	base := harness.Params{Transport: tr, Delay: d, Seed: *seed, NoDecodeCache: *noDC}
+	base := harness.Params{Transport: tr, Delay: d, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
+	if *cpus > 1 {
+		if sel >= 0 && !sel.SupportsMultiCPU() {
+			fatal(fmt.Errorf("scheme %v drives a single CPU; -cpus %d needs gdb-kernel or driver-kernel", sel, *cpus))
+		}
+	}
 
 	simTimes := []sim.Time{2 * sim.MS, 10 * sim.MS, 50 * sim.MS}
 	if *full {
@@ -141,11 +152,13 @@ func sep(jsonOut bool) {
 
 func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, workers int, jsonOut bool) {
 	scens := filterScenarios(harness.Table1Scenarios(simTimes, base), sel)
+	scens = filterMultiCPU(scens, base.CPUs)
 	outs := harness.RunAll(scens, workers)
 	collectRuns(rep, outs)
-	if sel >= 0 {
-		// The folded table needs every scheme's column; a filtered
-		// sweep reports per-run records only.
+	if sel >= 0 || base.CPUs > 1 {
+		// The folded table needs every scheme's column; a filtered or
+		// multi-CPU sweep (which drops the single-CPU GDB-Wrapper
+		// baseline) reports per-run records only.
 		if err := harness.FirstError(outs); err != nil {
 			fatal(err)
 		}
@@ -228,6 +241,21 @@ func filterScenarios(scens []harness.Scenario, sel harness.Scheme) []harness.Sce
 	var kept []harness.Scenario
 	for _, sc := range scens {
 		if sc.Params.Scheme == sel {
+			kept = append(kept, sc)
+		}
+	}
+	return kept
+}
+
+// filterMultiCPU drops schemes that cannot drive a multi-processor
+// guest when the sweep asks for more than one CPU.
+func filterMultiCPU(scens []harness.Scenario, cpus int) []harness.Scenario {
+	if cpus <= 1 {
+		return scens
+	}
+	var kept []harness.Scenario
+	for _, sc := range scens {
+		if sc.Params.Scheme.SupportsMultiCPU() {
 			kept = append(kept, sc)
 		}
 	}

@@ -32,7 +32,7 @@ func main() {
 	fifo := flag.Int("fifo", 8, "router FIFO depth")
 	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
 	seed := flag.Int64("seed", 1, "traffic seed")
-	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (GDB-Kernel only)")
+	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (gdb-kernel and driver-kernel)")
 	vcd := flag.String("vcd", "", "write a VCD trace of queue occupancy to this file")
 	journal := flag.String("journal", "", "write a CSV journal of every co-simulation transfer to this file")
 	metricsOut := flag.String("metrics", "", "write the run's obs metrics snapshot (JSON) to this file")

@@ -19,36 +19,29 @@ import (
 // messages with the SystemC kernel over the data socket (port 4444 in
 // the paper) while the kernel notifies interrupts over the interrupt
 // socket (port 4445). The scheduler modifications of Figure 5 map to a
-// begin-of-cycle hook (drain the data socket) and an end-of-cycle hook
+// begin-of-cycle hook (drain the data sockets) and an end-of-cycle hook
 // (send queued interrupt notifications).
+//
+// The scheme scales to a multi-processor SoC: each guest CPU owns one
+// data/interrupt channel pair (the paper's 4444/4445 sockets,
+// parameterized per CPU), messages are tagged with the CPU id at
+// channel ingress, and the drain/flush hooks route READ/WRITE/INTERRUPT
+// traffic to the per-CPU state. The N guests stay in deterministic
+// lock-step because the conservative skew wait is applied per CPU: the
+// kernel never advances more than SkewBound past the minimum
+// outstanding target time across all CPUs (see DESIGN.md §5.6).
 type DriverKernel struct {
 	k *sim.Kernel
 
-	dataW io.Writer
-	irqW  io.Writer
-
-	period     sim.Time
-	syncCycles uint32
-	syncTime   sim.Time
-
-	mu     sync.Mutex
-	inbox  []Message
-	rdErr  error
-	notify chan struct{} // signalled by the reader when messages arrive
-
-	// Conservative synchronization, as in gdbEngine: when skewBound is
-	// non-zero, the kernel waits (wall-clock) for the guest's next
-	// message rather than racing simulated time past an outstanding
-	// request (a READ reply or a notified interrupt).
+	period      sim.Time
 	skewBound   sim.Time
-	outstanding bool
-	outSince    sim.Time
 	waitTimeout time.Duration // how long a conservative wait may block
 
-	pendingReads []*binding
-	outBindings  map[string]*binding // port name -> binding (ToISS)
-	intQueue     []uint32
-	irqBuf       [4]byte // scratch for interrupt notifications (kernel context only)
+	mu     sync.Mutex
+	inbox  []Message     // CPU-tagged; drained by the begin-of-cycle hook
+	notify chan struct{} // signalled by a reader when messages arrive
+
+	cpus []*driverCPU
 
 	journal *Journal
 
@@ -57,8 +50,47 @@ type DriverKernel struct {
 	obs   driverObs
 }
 
-// driverObs holds the Driver-Kernel hot-path metrics, pre-resolved at
-// attach time; all fields are nil (no-ops) without a registry.
+// driverCPU is the per-processor half of the scheme: one channel pair,
+// one port namespace, one timeline anchor, one interrupt queue.
+type driverCPU struct {
+	d     *DriverKernel
+	id    int
+	label string // "driver-kernel cpu0", the error/metric prefix
+
+	dataW io.Writer
+	irqW  io.Writer
+
+	// Port routing: the guest names ports without knowing which CPU it
+	// is ("pkt", "csum"); the channel prefix maps those names onto this
+	// CPU's kernel ports ("cpu1.pkt"). Keys are guest-visible names.
+	prefix      string
+	inPorts     map[string]*sim.IssIn
+	outBindings map[string]*binding
+
+	// Guest-cycle -> simulated-time anchor (32-bit wrap-aware).
+	syncCycles uint32
+	syncTime   sim.Time
+
+	// Conservative synchronization, as in gdbEngine: when skewBound is
+	// non-zero, the kernel waits (wall-clock) for this guest's next
+	// message rather than racing simulated time past an outstanding
+	// request (a READ reply or a notified interrupt).
+	outstanding bool
+	outSince    sim.Time
+
+	pendingReads []*binding
+	intQueue     []uint32
+	irqBuf       [4]byte // scratch for interrupt notifications (kernel context only)
+
+	rdErr  error // reader goroutine's terminal error; guarded by d.mu
+	hadMsg bool  // batch scratch: a message from this CPU was drained
+
+	obs driverCPUObs
+}
+
+// driverObs holds the aggregate Driver-Kernel hot-path metrics,
+// pre-resolved at attach time; all fields are nil (no-ops) without a
+// registry.
 type driverObs struct {
 	polls      *obs.Counter
 	messages   *obs.Counter
@@ -81,80 +113,155 @@ func (o *driverObs) init(r *obs.Registry) {
 	o.skewWaitNS = r.Histogram("driver.skew_wait_ns")
 }
 
+// driverCPUObs is the per-CPU counter set ("driver.cpu0.messages", ...)
+// published next to the aggregates so multi-CPU runs show per-processor
+// traffic, skew-wait stalls and interrupt fan-out in `benchtab -json`.
+type driverCPUObs struct {
+	messages   *obs.Counter
+	interrupts *obs.Counter
+	skewWaits  *obs.Counter
+}
+
+func (o *driverCPUObs) init(r *obs.Registry, id int) {
+	p := fmt.Sprintf("driver.cpu%d.", id)
+	o.messages = r.Counter(p + "messages")
+	o.interrupts = r.Counter(p + "interrupts")
+	o.skewWaits = r.Counter(p + "skew_waits")
+}
+
+// DriverChannel is one CPU's co-simulation transport: the kernel-side
+// ends of its data and interrupt sockets, plus the iss ports its driver
+// may address. Ports are declared with guest-visible names; Prefix maps
+// them onto the kernel's port registry (a multi-CPU run prefixes each
+// CPU's ports "cpu0.", "cpu1.", ... so N identical guest images can
+// attach to one kernel without colliding).
+type DriverChannel struct {
+	Data   io.ReadWriter
+	IRQ    io.Writer
+	Prefix string
+	Ports  []VarBinding
+}
+
 // DriverKernelOptions configures the scheme.
 type DriverKernelOptions struct {
 	// CommonOptions carries the timing, skew, journal and observability
-	// configuration shared by all schemes.
+	// configuration shared by all schemes. When CPUs is non-zero it must
+	// match the channel count.
 	CommonOptions
 	// Ports declares the iss_in (ToSystemC) and iss_out (ToISS) ports
 	// the driver may address. Var/breakpoint fields are unused here —
-	// the driver names ports explicitly in its messages.
+	// the driver names ports explicitly in its messages. Only consulted
+	// by the single-CPU NewDriverKernel constructor; multi-CPU callers
+	// declare ports per channel.
 	Ports []VarBinding
 }
 
-// NewDriverKernel attaches the scheme. data and irq are the kernel-side
-// ends of the two sockets.
+// NewDriverKernel attaches the scheme with a single CPU. data and irq
+// are the kernel-side ends of the two sockets.
 func NewDriverKernel(k *sim.Kernel, data io.ReadWriter, irq io.Writer, opts DriverKernelOptions) (*DriverKernel, error) {
+	chans := []DriverChannel{{Data: data, IRQ: irq, Ports: opts.Ports}}
+	opts.Ports = nil
+	return NewDriverKernelMulti(k, chans, opts)
+}
+
+// NewDriverKernelMulti attaches the scheme with one channel pair per
+// CPU — the multi-processor SoC configuration of the paper's title.
+// Channel i serves CPU i; interrupt routing and message drains address
+// CPUs by that index.
+func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKernelOptions) (*DriverKernel, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("driver-kernel: at least one CPU channel is required")
+	}
+	if opts.CPUs != 0 && opts.CPUs != len(channels) {
+		return nil, fmt.Errorf("driver-kernel: CPUs = %d but %d channels given", opts.CPUs, len(channels))
+	}
 	d := &DriverKernel{
-		k: k, dataW: data, irqW: irq,
+		k:           k,
 		period:      opts.CPUPeriod,
 		skewBound:   opts.SkewBound,
 		waitTimeout: time.Second,
 		journal:     opts.Journal,
-		outBindings: make(map[string]*binding),
 		notify:      make(chan struct{}, 1),
 	}
 	d.obs.init(opts.Obs)
-	for _, s := range opts.Ports {
-		b := &binding{spec: s}
-		if s.Dir == ToSystemC {
-			if _, ok := k.IssInPort(s.Port); !ok {
-				b.inPort = k.NewIssIn(s.Port)
+	for i, ch := range channels {
+		c := &driverCPU{
+			d:           d,
+			id:          i,
+			label:       fmt.Sprintf("driver-kernel cpu%d", i),
+			dataW:       ch.Data,
+			irqW:        ch.IRQ,
+			prefix:      ch.Prefix,
+			inPorts:     make(map[string]*sim.IssIn),
+			outBindings: make(map[string]*binding),
+		}
+		c.obs.init(opts.Obs, i)
+		for _, s := range ch.Ports {
+			name := s.Port // guest-visible name
+			full := ch.Prefix + name
+			if s.Dir == ToSystemC {
+				p, ok := k.IssInPort(full)
+				if !ok {
+					p = k.NewIssIn(full)
+				}
+				c.inPorts[name] = p
+			} else {
+				p, ok := k.IssOutPort(full)
+				if !ok {
+					p = k.NewIssOut(full)
+				}
+				spec := s
+				spec.Port = full // journal entries carry the kernel name
+				b := &binding{spec: spec, outPort: p}
+				c.outBindings[name] = b
 			}
-		} else {
-			p, ok := k.IssOutPort(s.Port)
-			if !ok {
-				p = k.NewIssOut(s.Port)
+		}
+		d.cpus = append(d.cpus, c)
+
+		// Reader goroutine: decode messages from this CPU's data socket
+		// into the shared inbox, tagged with the CPU id so the drain
+		// hook routes them to the right per-CPU state.
+		go func(c *driverCPU, r io.Reader) {
+			br := bufio.NewReader(r)
+			for {
+				m, err := ReadMessage(br)
+				if err != nil {
+					d.mu.Lock()
+					c.rdErr = err
+					d.mu.Unlock()
+					// Wake a conservative wait so it can surface the
+					// error instead of sleeping out its timeout.
+					select {
+					case d.notify <- struct{}{}:
+					default:
+					}
+					return
+				}
+				m.CPU = c.id
+				d.mu.Lock()
+				d.inbox = append(d.inbox, m)
+				d.mu.Unlock()
+				select {
+				case d.notify <- struct{}{}:
+				default:
+				}
 			}
-			b.outPort = p
-			d.outBindings[s.Port] = b
+		}(c, ch.Data)
+
+		if conn, ok := ch.Data.(net.Conn); ok {
+			k.AddFinalizer(func() { _ = conn.Close() })
+		}
+		if conn, ok := ch.IRQ.(net.Conn); ok {
+			k.AddFinalizer(func() { _ = conn.Close() })
 		}
 	}
-
-	// Reader goroutine: decode messages from the data socket into an
-	// in-process inbox the cycle hook drains.
-	go func() {
-		br := bufio.NewReader(data)
-		for {
-			m, err := ReadMessage(br)
-			if err != nil {
-				d.mu.Lock()
-				d.rdErr = err
-				d.mu.Unlock()
-				return
-			}
-			d.mu.Lock()
-			d.inbox = append(d.inbox, m)
-			d.mu.Unlock()
-			select {
-			case d.notify <- struct{}{}:
-			default:
-			}
-		}
-	}()
 
 	k.AddCycleHook(d.drain)
 	k.AddEndCycleHook(d.flushInterrupts)
-	if c, ok := data.(net.Conn); ok {
-		k.AddFinalizer(func() { _ = c.Close() })
-	}
-	if c, ok := irq.(net.Conn); ok {
-		k.AddFinalizer(func() { _ = c.Close() })
-	}
 	return d, nil
 }
 
-// Stats returns co-simulation activity counters.
+// Stats returns co-simulation activity counters, summed over CPUs.
 func (d *DriverKernel) Stats() Stats { return d.stats }
 
 // Err returns the first co-simulation error, if any.
@@ -163,72 +270,95 @@ func (d *DriverKernel) Err() error { return d.err }
 // Name returns the scheme's canonical name.
 func (d *DriverKernel) Name() string { return "driver-kernel" }
 
-// Detach implements Scheme. The guest runner is owned by the caller
-// (it predates the scheme attachment), so there is nothing to quiesce
+// CPUCount returns the number of guest CPUs the scheme drives.
+func (d *DriverKernel) CPUCount() int { return len(d.cpus) }
+
+// Detach implements Scheme. The guest runners are owned by the caller
+// (they predate the scheme attachment), so there is nothing to quiesce
 // here.
 func (d *DriverKernel) Detach() {}
 
 // Publish implements Scheme: the Driver-Kernel protocol has no
 // transport-level totals beyond its live counters, so only the pending
-// read backlog is published.
+// read backlogs are published (aggregate plus per CPU).
 func (d *DriverKernel) Publish(r *obs.Registry) {
-	r.Gauge("driver.pending_reads").Set(uint64(len(d.pendingReads)))
+	total := 0
+	for _, c := range d.cpus {
+		total += len(c.pendingReads)
+		r.Gauge(fmt.Sprintf("driver.cpu%d.pending_reads", c.id)).Set(uint64(len(c.pendingReads)))
+	}
+	r.Gauge("driver.pending_reads").Set(uint64(total))
 }
 
-// RaiseInterrupt queues an interrupt for the guest driver; it is sent
-// on the interrupt socket at the end of the current simulation cycle,
-// per Figure 5 ("before moving to the following simulation cycle ...
-// the interrupt is notified to the driver"). Models call this from
-// their processes.
-func (d *DriverKernel) RaiseInterrupt(id uint32) {
-	d.intQueue = append(d.intQueue, id)
+// RaiseInterrupt queues an interrupt for CPU 0's guest driver — the
+// single-processor entry point; see RaiseInterruptCPU.
+func (d *DriverKernel) RaiseInterrupt(id uint32) { d.RaiseInterruptCPU(0, id) }
+
+// RaiseInterruptCPU queues an interrupt for the given CPU's guest
+// driver; it is sent on that CPU's interrupt socket at the end of the
+// current simulation cycle, per Figure 5 ("before moving to the
+// following simulation cycle ... the interrupt is notified to the
+// driver"). Models call this from their processes. An out-of-range CPU
+// id is recorded as a scheme error.
+func (d *DriverKernel) RaiseInterruptCPU(cpu int, id uint32) {
+	if cpu < 0 || cpu >= len(d.cpus) {
+		if d.err == nil {
+			d.err = fmt.Errorf("driver-kernel: interrupt %d raised for unknown cpu%d (%d CPUs attached)", id, cpu, len(d.cpus))
+		}
+		return
+	}
+	c := d.cpus[cpu]
+	c.intQueue = append(c.intQueue, id)
 }
 
 // targetTime maps a guest cycle stamp to simulated time (32-bit
 // wrap-aware).
-func (d *DriverKernel) targetTime(cycles uint32) sim.Time {
-	if d.period == 0 {
-		return d.k.Now()
+func (c *driverCPU) targetTime(cycles uint32) sim.Time {
+	if c.d.period == 0 {
+		return c.d.k.Now()
 	}
-	delta := cycles - d.syncCycles // wraps correctly in uint32
-	return d.syncTime + sim.Time(delta)*d.period
+	delta := cycles - c.syncCycles // wraps correctly in uint32
+	return c.syncTime + sim.Time(delta)*c.d.period
 }
 
-func (d *DriverKernel) advanceSync(cycles uint32, t sim.Time) {
-	d.syncCycles = cycles
-	if t > d.k.Now() {
-		d.syncTime = t
+func (c *driverCPU) advanceSync(cycles uint32, t sim.Time) {
+	c.syncCycles = cycles
+	if t > c.d.k.Now() {
+		c.syncTime = t
 	} else {
-		d.syncTime = d.k.Now()
+		c.syncTime = c.d.k.Now()
 	}
 }
 
-// drain is the begin-of-cycle hook: handle every message that arrived
-// since the last cycle (Figure 5: "checks the content of the message to
-// be possibly exchanged with the driver").
-func (d *DriverKernel) drain(k *sim.Kernel) {
-	if d.err != nil {
+// inboxReadyFor reports whether the drain would make progress for this
+// CPU: a message from it is queued, or its reader hit a terminal error.
+func (d *DriverKernel) inboxReadyFor(c *driverCPU) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.rdErr != nil {
+		return true
+	}
+	for _, m := range d.inbox {
+		if m.CPU == c.id {
+			return true
+		}
+	}
+	return false
+}
+
+// lockstepWait enforces the multi-CPU advance rule: the kernel may only
+// run up to the minimum target time across CPUs, i.e. no CPU's
+// outstanding request is left more than skewBound behind the kernel
+// clock. Each lagging CPU stalls the cycle (wall-clock) until its next
+// message arrives or the wait times out.
+func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
+	if d.skewBound == 0 {
 		return
 	}
-	d.stats.Polls++
-	d.obs.polls.Inc()
-
-	// Serve pending READs whose port has been written since.
-	if len(d.pendingReads) > 0 {
-		rest := d.pendingReads[:0]
-		for _, b := range d.pendingReads {
-			if b.outPort.Writes() > b.consumed {
-				d.reply(b)
-			} else {
-				rest = append(rest, b)
-			}
+	for _, c := range d.cpus {
+		if !c.outstanding || k.Now() < c.outSince+d.skewBound {
+			continue
 		}
-		d.pendingReads = rest
-	}
-
-	// Conservative sync: wait for the guest instead of letting simulated
-	// time race past an outstanding request.
-	if d.skewBound != 0 && d.outstanding && k.Now() >= d.outSince+d.skewBound {
 		// A token may be sitting in d.notify from messages that were
 		// already drained in a prior cycle; waiting on it would return
 		// immediately without new data and silently void the skew bound.
@@ -238,78 +368,132 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 		case <-d.notify:
 		default:
 		}
-		d.mu.Lock()
-		empty := len(d.inbox) == 0 && d.rdErr == nil
-		d.mu.Unlock()
-		if empty {
-			d.obs.skewWaits.Inc()
-			sp := d.obs.skewWaitNS.Start()
-			timer := time.NewTimer(d.waitTimeout)
+		if d.inboxReadyFor(c) {
+			continue
+		}
+		d.obs.skewWaits.Inc()
+		c.obs.skewWaits.Inc()
+		sp := d.obs.skewWaitNS.Start()
+		timer := time.NewTimer(d.waitTimeout)
+	wait:
+		for {
 			select {
 			case <-d.notify:
+				// The token may belong to another CPU's message; only
+				// this CPU's traffic (or reader error) ends its wait.
+				if d.inboxReadyFor(c) {
+					break wait
+				}
 			case <-timer.C:
 				// Give up on this request; don't stall the simulation.
-				d.outstanding = false
+				c.outstanding = false
+				break wait
 			}
-			timer.Stop()
-			sp.End()
 		}
+		timer.Stop()
+		sp.End()
 	}
+}
+
+// drain is the begin-of-cycle hook: handle every message that arrived
+// since the last cycle (Figure 5: "checks the content of the message to
+// be possibly exchanged with the driver"), routed to the per-CPU state
+// by the CPU tag stamped at channel ingress.
+func (d *DriverKernel) drain(k *sim.Kernel) {
+	if d.err != nil {
+		return
+	}
+	d.stats.Polls++
+	d.obs.polls.Inc()
+
+	// Serve pending READs whose port has been written since.
+	for _, c := range d.cpus {
+		if len(c.pendingReads) == 0 {
+			continue
+		}
+		rest := c.pendingReads[:0]
+		for _, b := range c.pendingReads {
+			if b.outPort.Writes() > b.consumed {
+				d.reply(c, b)
+			} else {
+				rest = append(rest, b)
+			}
+		}
+		c.pendingReads = rest
+	}
+
+	// Conservative sync: wait for lagging guests instead of letting
+	// simulated time race past an outstanding request.
+	d.lockstepWait(k)
 
 	d.mu.Lock()
 	msgs := d.inbox
 	d.inbox = nil
-	err := d.rdErr
 	d.mu.Unlock()
-	if err != nil && len(msgs) == 0 && d.err == nil {
-		// Surface read errors once the stream is dry. A clean EOF is a
-		// normal guest shutdown; an unexpected EOF mid-message (or any
-		// wrapped error) is a real connection failure.
+
+	for _, c := range d.cpus {
+		c.hadMsg = false
+	}
+	for _, m := range msgs {
+		d.cpus[m.CPU].hadMsg = true
+	}
+	// Surface read errors once a CPU's stream is dry. A clean EOF is a
+	// normal guest shutdown; an unexpected EOF mid-message (or any
+	// wrapped error) is a real connection failure.
+	for _, c := range d.cpus {
+		d.mu.Lock()
+		err := c.rdErr
+		d.mu.Unlock()
+		if err == nil || c.hadMsg || d.err != nil {
+			continue
+		}
 		if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			d.err = fmt.Errorf("driver-kernel: %w", err)
+			d.err = fmt.Errorf("%s: data socket: %w", c.label, err)
 		}
 	}
 
 	for _, m := range msgs {
+		c := d.cpus[m.CPU]
 		d.stats.Messages++
 		d.obs.messages.Inc()
+		c.obs.messages.Inc()
 		switch m.Type {
 		case MsgWrite:
 			d.obs.writes.Inc()
-			port, ok := k.IssInPort(m.Port)
+			port, ok := c.inPorts[m.Port]
 			if !ok {
-				d.err = fmt.Errorf("driver-kernel: WRITE to unknown port %q", m.Port)
+				d.err = fmt.Errorf("%s: WRITE to unknown port %q", c.label, m.Port)
 				return
 			}
-			t := d.targetTime(m.Cycles)
+			t := c.targetTime(m.Cycles)
 			msg := m
 			k.CallAt(t, func() {
 				port.Deliver(msg.Data)
 				msg.Release() // Deliver copied; recycle the codec buffer
 			})
-			d.advanceSync(m.Cycles, t)
+			c.advanceSync(m.Cycles, t)
 			d.stats.Transfers++
-			d.outstanding = false
+			c.outstanding = false
 			d.journal.Record(JournalEntry{
 				Time: t, Scheme: "driver-kernel", Dir: "iss->sc",
-				Port: m.Port, Bytes: len(m.Data), Cycles: uint64(m.Cycles),
+				Port: c.prefix + m.Port, Bytes: len(m.Data), Cycles: uint64(m.Cycles),
 			})
 		case MsgRead:
 			d.obs.reads.Inc()
-			b, ok := d.outBindings[m.Port]
+			b, ok := c.outBindings[m.Port]
 			if !ok {
-				d.err = fmt.Errorf("driver-kernel: READ of unknown port %q", m.Port)
+				d.err = fmt.Errorf("%s: READ of unknown port %q", c.label, m.Port)
 				return
 			}
-			d.outstanding = false // the guest is alive and asking
-			d.advanceSync(m.Cycles, d.targetTime(m.Cycles))
+			c.outstanding = false // the guest is alive and asking
+			c.advanceSync(m.Cycles, c.targetTime(m.Cycles))
 			if b.outPort.Writes() > b.consumed {
-				d.reply(b)
+				d.reply(c, b)
 			} else {
-				d.pendingReads = append(d.pendingReads, b)
+				c.pendingReads = append(c.pendingReads, b)
 			}
 		default:
-			d.err = fmt.Errorf("driver-kernel: unexpected message type %d from driver", m.Type)
+			d.err = fmt.Errorf("%s: unexpected message type %d from driver", c.label, m.Type)
 			return
 		}
 	}
@@ -317,55 +501,63 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 
 // reply sends the current iss_out port value as a DATA message followed
 // by a DATA_READY interrupt so a WFI-parked guest wakes up.
-func (d *DriverKernel) reply(b *binding) {
-	if err := WriteMessage(d.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
-		d.err = fmt.Errorf("driver-kernel: data socket: %w", err)
+func (d *DriverKernel) reply(c *driverCPU, b *binding) {
+	if err := WriteMessage(c.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
+		d.err = fmt.Errorf("%s: data socket (port %q): %w", c.label, b.spec.Port, err)
 		return
 	}
 	b.consumed = b.outPort.Writes()
 	b.outPort.Consumed()
 	d.stats.Transfers++
 	d.obs.replies.Inc()
-	d.outstanding = true
-	d.outSince = d.k.Now()
+	c.outstanding = true
+	c.outSince = d.k.Now()
 	d.journal.Record(JournalEntry{
 		Time: d.k.Now(), Scheme: "driver-kernel", Dir: "sc->iss",
 		Port: b.spec.Port, Bytes: len(b.outPort.Bytes()),
 	})
 	// The guest idled while waiting; re-anchor its timeline.
-	d.syncTime = d.k.Now()
-	if err := d.sendInterrupt(IntDataReady); err != nil {
+	c.syncTime = d.k.Now()
+	if err := c.sendInterrupt(IntDataReady); err != nil {
 		d.err = err
 	}
 }
 
-// sendInterrupt writes one 4-byte notification through the reusable
-// scratch buffer. Only called from kernel context (cycle hooks), so the
-// scratch needs no locking.
-func (d *DriverKernel) sendInterrupt(id uint32) error {
-	binary.LittleEndian.PutUint32(d.irqBuf[:], id)
-	if _, err := d.irqW.Write(d.irqBuf[:]); err != nil {
-		return fmt.Errorf("driver-kernel: interrupt socket: %w", err)
+// sendInterrupt writes one 4-byte notification through this CPU's
+// reusable scratch buffer. Only called from kernel context (cycle
+// hooks), so the scratch needs no locking.
+func (c *driverCPU) sendInterrupt(id uint32) error {
+	binary.LittleEndian.PutUint32(c.irqBuf[:], id)
+	if _, err := c.irqW.Write(c.irqBuf[:]); err != nil {
+		return fmt.Errorf("%s: interrupt socket (int %d): %w", c.label, id, err)
 	}
 	return nil
 }
 
-// flushInterrupts is the end-of-cycle hook of Figure 5.
+// flushInterrupts is the end-of-cycle hook of Figure 5, fanned out per
+// CPU: each queued interrupt goes to its own CPU's interrupt socket,
+// never to a neighbour's.
 func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
-	if d.err != nil || len(d.intQueue) == 0 {
+	if d.err != nil {
 		return
 	}
-	for _, id := range d.intQueue {
-		if err := d.sendInterrupt(id); err != nil {
-			d.err = err
-			return
+	for _, c := range d.cpus {
+		if len(c.intQueue) == 0 {
+			continue
 		}
-		d.stats.IntsNotified++
-		d.obs.interrupts.Inc()
+		for _, id := range c.intQueue {
+			if err := c.sendInterrupt(id); err != nil {
+				d.err = err
+				return
+			}
+			d.stats.IntsNotified++
+			d.obs.interrupts.Inc()
+			c.obs.interrupts.Inc()
+		}
+		c.intQueue = c.intQueue[:0]
+		// An interrupt usually solicits guest work; treat it as a
+		// request for skew-bound purposes.
+		c.outstanding = true
+		c.outSince = k.Now()
 	}
-	d.intQueue = d.intQueue[:0]
-	// An interrupt usually solicits guest work; treat it as a request
-	// for skew-bound purposes.
-	d.outstanding = true
-	d.outSince = k.Now()
 }

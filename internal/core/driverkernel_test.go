@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,28 +30,29 @@ func TestTargetTimeWraparound(t *testing.T) {
 	k := sim.NewKernel("t")
 	defer k.Shutdown()
 	d := &DriverKernel{k: k, period: 10 * sim.NS}
+	c := &driverCPU{d: d}
 
 	// Anchor just below the 32-bit ceiling; the guest then runs 0x20
 	// cycles, wrapping the counter past zero.
-	d.syncCycles = 0xfffffff0
-	d.syncTime = 500 * sim.NS
-	got := d.targetTime(0x10)
-	want := d.syncTime + 0x20*10*sim.NS
+	c.syncCycles = 0xfffffff0
+	c.syncTime = 500 * sim.NS
+	got := c.targetTime(0x10)
+	want := c.syncTime + 0x20*10*sim.NS
 	if got != want {
 		t.Fatalf("wrapped targetTime = %v, want %v", got, want)
 	}
 
 	// Without wrap the same arithmetic must still hold.
-	d.syncCycles = 100
-	got = d.targetTime(164)
-	want = d.syncTime + 64*10*sim.NS
+	c.syncCycles = 100
+	got = c.targetTime(164)
+	want = c.syncTime + 64*10*sim.NS
 	if got != want {
 		t.Fatalf("targetTime = %v, want %v", got, want)
 	}
 
 	// period 0 disables timing: stamps map to "now".
 	d.period = 0
-	if got := d.targetTime(12345); got != k.Now() {
+	if got := c.targetTime(12345); got != k.Now() {
 		t.Fatalf("untimed targetTime = %v, want %v", got, k.Now())
 	}
 }
@@ -58,32 +63,33 @@ func TestAdvanceSyncMonotonic(t *testing.T) {
 	advanceKernel(t, k, sim.US)
 
 	d := &DriverKernel{k: k, period: 10 * sim.NS}
+	c := &driverCPU{d: d}
 
 	// A stamp in the simulated past re-anchors to "now", never earlier.
-	d.advanceSync(10, 500*sim.NS)
-	if d.syncTime != sim.US {
-		t.Fatalf("past stamp anchored at %v, want now (%v)", d.syncTime, sim.US)
+	c.advanceSync(10, 500*sim.NS)
+	if c.syncTime != sim.US {
+		t.Fatalf("past stamp anchored at %v, want now (%v)", c.syncTime, sim.US)
 	}
 
 	// The production call pattern is advanceSync(c, targetTime(c)):
 	// drive it through a cycle sequence that includes a 32-bit wrap and
 	// assert the anchor never moves backward.
-	prev := d.syncTime
+	prev := c.syncTime
 	for _, cycles := range []uint32{100, 5_000, 0xffffffff, 3, 50, 1 << 20} {
-		tt := d.targetTime(cycles)
-		d.advanceSync(cycles, tt)
-		if d.syncTime < prev {
-			t.Fatalf("syncTime moved backward: %v -> %v at cycles=%#x", prev, d.syncTime, cycles)
+		tt := c.targetTime(cycles)
+		c.advanceSync(cycles, tt)
+		if c.syncTime < prev {
+			t.Fatalf("syncTime moved backward: %v -> %v at cycles=%#x", prev, c.syncTime, cycles)
 		}
-		if d.syncCycles != cycles {
-			t.Fatalf("syncCycles = %#x, want %#x", d.syncCycles, cycles)
+		if c.syncCycles != cycles {
+			t.Fatalf("syncCycles = %#x, want %#x", c.syncCycles, cycles)
 		}
-		prev = d.syncTime
+		prev = c.syncTime
 	}
 }
 
-// newTestDriverKernel wires a DriverKernel over an in-process pipe and
-// returns the guest-side data end.
+// newTestDriverKernel wires a single-CPU DriverKernel over an
+// in-process pipe and returns the guest-side data end.
 func newTestDriverKernel(t *testing.T, opts DriverKernelOptions) (*sim.Kernel, *DriverKernel, net.Conn) {
 	t.Helper()
 	k := sim.NewKernel("t")
@@ -110,8 +116,9 @@ func TestSkewWaitIgnoresStaleNotify(t *testing.T) {
 	d.waitTimeout = 100 * time.Millisecond
 	advanceKernel(t, k, sim.US) // push Now() past outSince+skewBound
 
-	d.outstanding = true
-	d.outSince = 0
+	c := d.cpus[0]
+	c.outstanding = true
+	c.outSince = 0
 	d.notify <- struct{}{} // stale: nothing new behind it
 
 	start := time.Now()
@@ -120,7 +127,7 @@ func TestSkewWaitIgnoresStaleNotify(t *testing.T) {
 	if elapsed < d.waitTimeout/2 {
 		t.Fatalf("skew wait returned after %v — the stale token voided the bound", elapsed)
 	}
-	if d.outstanding {
+	if c.outstanding {
 		t.Error("timed-out wait should give up on the outstanding request")
 	}
 	if d.err != nil {
@@ -138,8 +145,9 @@ func TestSkewWaitWakesOnFreshMessage(t *testing.T) {
 	d.waitTimeout = 2 * time.Second
 	advanceKernel(t, k, sim.US)
 
-	d.outstanding = true
-	d.outSince = 0
+	c := d.cpus[0]
+	c.outstanding = true
+	c.outSince = 0
 	d.notify <- struct{}{} // stale token again
 
 	go func() {
@@ -161,13 +169,14 @@ func TestSkewWaitWakesOnFreshMessage(t *testing.T) {
 	}
 }
 
-// waitReadErr polls until the reader goroutine records a terminal error.
-func waitReadErr(t *testing.T, d *DriverKernel) error {
+// waitReadErr polls until a CPU's reader goroutine records a terminal
+// error.
+func waitReadErr(t *testing.T, d *DriverKernel, cpu int) error {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		d.mu.Lock()
-		err := d.rdErr
+		err := d.cpus[cpu].rdErr
 		d.mu.Unlock()
 		if err != nil {
 			return err
@@ -181,7 +190,7 @@ func waitReadErr(t *testing.T, d *DriverKernel) error {
 func TestCleanEOFIsGuestShutdown(t *testing.T) {
 	k, d, guest := newTestDriverKernel(t, DriverKernelOptions{})
 	guest.Close() // clean shutdown between messages
-	if err := waitReadErr(t, d); !errors.Is(err, io.EOF) {
+	if err := waitReadErr(t, d, 0); !errors.Is(err, io.EOF) {
 		t.Fatalf("reader error = %v, want io.EOF", err)
 	}
 	d.drain(k)
@@ -198,7 +207,7 @@ func TestMidMessageEOFIsError(t *testing.T) {
 		_, _ = guest.Write([]byte{12, 0, 0, 0, 1, 0, 0, 0})
 		guest.Close()
 	}()
-	if err := waitReadErr(t, d); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if err := waitReadErr(t, d, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("reader error = %v, want io.ErrUnexpectedEOF", err)
 	}
 	d.drain(k)
@@ -207,5 +216,259 @@ func TestMidMessageEOFIsError(t *testing.T) {
 	}
 	if !errors.Is(d.err, io.ErrUnexpectedEOF) {
 		t.Fatalf("scheme error %v does not wrap io.ErrUnexpectedEOF", d.err)
+	}
+	if !strings.Contains(d.err.Error(), "cpu0") {
+		t.Fatalf("scheme error %q does not name the failing CPU", d.err)
+	}
+}
+
+// multiGuest is the guest side of one CPU channel in a multi-CPU test
+// rig: its data conn and an interrupt-id recorder.
+type multiGuest struct {
+	data net.Conn
+	irqs atomic.Int64 // count of 4-byte notifications received
+	last atomic.Uint32
+}
+
+// newMultiDriverKernel wires an n-CPU DriverKernel with per-CPU
+// prefixed ports ("cpuI.in" ToSystemC, "cpuI.out" ToISS, guest-visible
+// as "in"/"out") and interrupt-counting guest ends.
+func newMultiDriverKernel(t *testing.T, n int, opts DriverKernelOptions) (*sim.Kernel, *DriverKernel, []*multiGuest) {
+	t.Helper()
+	k := sim.NewKernel("t")
+	var chans []DriverChannel
+	var guests []*multiGuest
+	for i := 0; i < n; i++ {
+		dataHost, dataGuest := net.Pipe()
+		irqHost, irqGuest := net.Pipe()
+		g := &multiGuest{data: dataGuest}
+		go func(g *multiGuest, r net.Conn) {
+			var b [4]byte
+			for {
+				if _, err := io.ReadFull(r, b[:]); err != nil {
+					return
+				}
+				g.last.Store(binary.LittleEndian.Uint32(b[:]))
+				g.irqs.Add(1)
+			}
+		}(g, irqGuest)
+		chans = append(chans, DriverChannel{
+			Data:   dataHost,
+			IRQ:    irqHost,
+			Prefix: "cpu" + string(rune('0'+i)) + ".",
+			Ports: []VarBinding{
+				{Port: "in", Dir: ToSystemC, Size: 4},
+				{Port: "out", Dir: ToISS, Size: 4},
+			},
+		})
+		guests = append(guests, g)
+	}
+	d, err := NewDriverKernelMulti(k, chans, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		k.Shutdown()
+		for _, g := range guests {
+			g.data.Close()
+		}
+	})
+	return k, d, guests
+}
+
+// waitInbox polls until at least n messages are queued in the inbox.
+func waitInbox(t *testing.T, d *DriverKernel, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		d.mu.Lock()
+		got := len(d.inbox)
+		d.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("inbox never reached %d messages", n)
+}
+
+// TestMultiChannelPortRouting checks that a WRITE arriving on CPU 1's
+// channel lands on CPU 1's prefixed kernel port, not CPU 0's, even
+// though both guests use the same guest-visible port name.
+func TestMultiChannelPortRouting(t *testing.T) {
+	k, d, guests := newMultiDriverKernel(t, 2, DriverKernelOptions{})
+	in0, _ := k.IssInPort("cpu0.in")
+	in1, _ := k.IssInPort("cpu1.in")
+
+	go func() {
+		_ = WriteMessage(guests[1].data, Message{Type: MsgWrite, Cycles: 3, Port: "in", Data: []byte{9, 0, 0, 0}})
+	}()
+	waitInbox(t, d, 1)
+	d.drain(k)
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	// The delivery is scheduled at the stamp's target time (= now with
+	// period 0); run the kernel so the CallAt fires.
+	advanceKernel(t, k, sim.NS)
+
+	if got := in1.Deliveries(); got != 1 {
+		t.Fatalf("cpu1.in deliveries = %d, want 1", got)
+	}
+	if got := in1.Uint32(); got != 9 {
+		t.Fatalf("cpu1.in value = %d, want 9", got)
+	}
+	if got := in0.Deliveries(); got != 0 {
+		t.Fatalf("cpu0.in deliveries = %d, want 0 — cross-CPU WRITE leak", got)
+	}
+}
+
+// TestMultiChannelReadRouting checks READ traffic: each CPU's READ is
+// served from its own prefixed iss_out port and the DATA_READY
+// interrupt goes back on its own interrupt socket.
+func TestMultiChannelReadRouting(t *testing.T) {
+	k, d, guests := newMultiDriverKernel(t, 2, DriverKernelOptions{})
+	out1, _ := k.IssOutPort("cpu1.out")
+	out1.WriteUint32(0x55)
+
+	// The guest's reply arrives as a DATA message on its data socket.
+	gotData := make(chan uint32, 1)
+	go func() {
+		br := bufio.NewReader(guests[1].data)
+		m, err := ReadMessage(br)
+		if err != nil || m.Type != MsgData {
+			return
+		}
+		gotData <- binary.LittleEndian.Uint32(m.Data)
+	}()
+	go func() {
+		_ = WriteMessage(guests[1].data, Message{Type: MsgRead, Cycles: 1, Port: "out"})
+	}()
+	waitInbox(t, d, 1)
+	d.drain(k)
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	select {
+	case v := <-gotData:
+		if v != 0x55 {
+			t.Fatalf("DATA reply = %#x, want 0x55", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no DATA reply on cpu1's data socket")
+	}
+	waitIRQs(t, guests[1], 1)
+	if got := guests[0].irqs.Load(); got != 0 {
+		t.Fatalf("cpu0 observed %d interrupts for cpu1's DATA_READY", got)
+	}
+}
+
+func waitIRQs(t *testing.T, g *multiGuest, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.irqs.Load() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("guest saw %d interrupts, want >= %d", g.irqs.Load(), want)
+}
+
+// TestPerCPUInterruptIsolation drives both CPUs concurrently — guests
+// writing messages while the kernel hooks cycle — and checks that
+// interrupts raised for CPU 1 are never observed on CPU 0's interrupt
+// socket. Run under -race this also exercises the shared-inbox
+// synchronization with both CPUs advancing at once.
+func TestPerCPUInterruptIsolation(t *testing.T) {
+	const cycles = 50
+	k, d, guests := newMultiDriverKernel(t, 2, DriverKernelOptions{})
+
+	// Both guests hammer their data sockets concurrently.
+	stop := make(chan struct{})
+	for i, g := range guests {
+		go func(i int, g *multiGuest) {
+			for n := uint32(0); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if WriteMessage(g.data, Message{Type: MsgWrite, Cycles: n, Port: "in", Data: []byte{byte(i), 0, 0, 0}}) != nil {
+					return
+				}
+			}
+		}(i, g)
+	}
+
+	for n := 0; n < cycles; n++ {
+		d.drain(k)
+		d.RaiseInterruptCPU(1, 42)
+		d.flushInterrupts(k)
+		if d.err != nil {
+			t.Fatal(d.err)
+		}
+	}
+	close(stop)
+	guests[0].data.Close()
+	guests[1].data.Close()
+
+	waitIRQs(t, guests[1], cycles)
+	if got := guests[1].last.Load(); got != 42 {
+		t.Fatalf("cpu1 last interrupt id = %d, want 42", got)
+	}
+	if got := guests[0].irqs.Load(); got != 0 {
+		t.Fatalf("cpu0 observed %d of cpu1's interrupts — routing leak", got)
+	}
+}
+
+// TestErrorsCarryCPUAndPort pins the error-attribution contract: a
+// failure on CPU 1's channel names cpu1 and the offending port.
+func TestErrorsCarryCPUAndPort(t *testing.T) {
+	k, d, guests := newMultiDriverKernel(t, 2, DriverKernelOptions{})
+	go func() {
+		_ = WriteMessage(guests[1].data, Message{Type: MsgWrite, Cycles: 0, Port: "zzz", Data: []byte{1}})
+	}()
+	waitInbox(t, d, 1)
+	d.drain(k)
+	if d.err == nil {
+		t.Fatal("WRITE to unknown port accepted")
+	}
+	for _, want := range []string{"cpu1", `"zzz"`} {
+		if !strings.Contains(d.err.Error(), want) {
+			t.Fatalf("error %q does not contain %q", d.err, want)
+		}
+	}
+}
+
+// TestRaiseInterruptUnknownCPU: routing an interrupt to a CPU that was
+// never attached is a scheme error naming the CPU, not a panic.
+func TestRaiseInterruptUnknownCPU(t *testing.T) {
+	_, d, _ := newMultiDriverKernel(t, 2, DriverKernelOptions{})
+	d.RaiseInterruptCPU(5, 7)
+	if d.Err() == nil {
+		t.Fatal("out-of-range CPU accepted")
+	}
+	if !strings.Contains(d.Err().Error(), "cpu5") {
+		t.Fatalf("error %q does not name cpu5", d.Err())
+	}
+}
+
+// TestChannelCountValidation: an explicit CPU count must match the
+// channel count.
+func TestChannelCountValidation(t *testing.T) {
+	k := sim.NewKernel("t")
+	defer k.Shutdown()
+	_, err := NewDriverKernelMulti(k, nil, DriverKernelOptions{})
+	if err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	host, guest := net.Pipe()
+	defer host.Close()
+	defer guest.Close()
+	_, err = NewDriverKernelMulti(k, []DriverChannel{{Data: host, IRQ: io.Discard}},
+		DriverKernelOptions{CommonOptions: CommonOptions{CPUs: 3}})
+	if err == nil {
+		t.Fatal("CPUs=3 with one channel accepted")
 	}
 }

@@ -48,6 +48,12 @@ type Message struct {
 	Port   string // WRITE/READ only
 	Data   []byte // WRITE/DATA only
 
+	// CPU identifies the guest processor the message belongs to. It is
+	// not part of the wire format: channel identity is the routing key,
+	// so the per-CPU reader stamps it at ingress and the Driver-Kernel
+	// drain/flush hooks use it to address the per-CPU scheme state.
+	CPU int
+
 	// pooled is the dataBufPool token backing Data when the message was
 	// decoded by ReadMessage; Release hands it back. Keeping the pointer
 	// here lets Release return the buffer without re-boxing it.

@@ -29,6 +29,11 @@ type CommonOptions struct {
 	// README's Observability section for the metric names). A nil
 	// registry costs nothing on the hot path.
 	Obs *obs.Registry
+	// CPUs is the number of guest processors the scheme drives; zero
+	// means one. Schemes that take explicit per-CPU transports
+	// (Driver-Kernel channels) validate it against what they were
+	// given; single-CPU schemes reject values above one.
+	CPUs int
 }
 
 // Scheme is the uniform handle over the three co-simulation schemes —
@@ -79,9 +84,15 @@ type Config struct {
 
 	// Driver-Kernel: the kernel-side ends of the data and interrupt
 	// sockets, and the iss_in/iss_out ports the driver may address.
+	// These three fields describe a single CPU; multi-processor
+	// attachments declare one Channel per CPU instead.
 	Data  io.ReadWriter
 	IRQ   io.Writer
 	Ports []VarBinding
+	// Channels declares one data/interrupt channel pair per CPU for the
+	// Driver-Kernel scheme (channel i serves CPU i). When set it takes
+	// precedence over Data/IRQ/Ports.
+	Channels []DriverChannel
 }
 
 // Attach constructs and attaches the scheme named by cfg.Scheme to the
@@ -95,6 +106,9 @@ func Attach(k *sim.Kernel, cfg Config) (Scheme, error) {
 	}
 	switch strings.ToLower(strings.TrimSpace(cfg.Scheme)) {
 	case "gdb-wrapper", "wrapper":
+		if cfg.Common.CPUs > 1 {
+			return nil, fmt.Errorf("core: gdb-wrapper drives a single ISS in lock-step; CPUs = %d is not supported", cfg.Common.CPUs)
+		}
 		return NewGDBWrapper(k, cfg.Conn, cfg.Image, GDBWrapperOptions{
 			CommonOptions: cfg.Common,
 			Clock:         cfg.Clock,
@@ -102,11 +116,19 @@ func Attach(k *sim.Kernel, cfg Config) (Scheme, error) {
 			Bindings:      cfg.Bindings,
 		})
 	case "gdb-kernel", "kernel":
+		if cfg.Common.CPUs > 1 {
+			return nil, fmt.Errorf("core: gdb-kernel multi-processor runs attach one scheme instance per CPU (with prefixed port bindings); CPUs = %d on one attachment is not supported", cfg.Common.CPUs)
+		}
 		return NewGDBKernel(k, cfg.Conn, cfg.Image, GDBKernelOptions{
 			CommonOptions: cfg.Common,
 			Bindings:      cfg.Bindings,
 		})
 	case "driver-kernel", "driver":
+		if len(cfg.Channels) > 0 {
+			return NewDriverKernelMulti(k, cfg.Channels, DriverKernelOptions{
+				CommonOptions: cfg.Common,
+			})
+		}
 		return NewDriverKernel(k, cfg.Data, cfg.IRQ, DriverKernelOptions{
 			CommonOptions: cfg.Common,
 			Ports:         cfg.Ports,

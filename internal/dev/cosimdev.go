@@ -46,6 +46,7 @@ type CosimDev struct {
 	data io.Writer
 	pic  *PIC
 	line int
+	name string // "cosim" or "cosim<n>" for CPU n of a multi-processor SoC
 
 	txMessages uint64
 	rxBytes    uint64
@@ -53,11 +54,24 @@ type CosimDev struct {
 
 // NewCosimDev creates the bridge device asserting the given PIC line.
 func NewCosimDev(pic *PIC, line int) *CosimDev {
-	return &CosimDev{pic: pic, line: line}
+	return &CosimDev{pic: pic, line: line, name: "cosim"}
+}
+
+// SetInstance labels the device with its CPU index in a multi-processor
+// SoC so its errors name the guest they came from; instance 0 keeps the
+// plain single-CPU name.
+func (d *CosimDev) SetInstance(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n == 0 {
+		d.name = "cosim"
+	} else {
+		d.name = fmt.Sprintf("cosim%d", n)
+	}
 }
 
 // Name implements iss.Device.
-func (d *CosimDev) Name() string { return "cosim" }
+func (d *CosimDev) Name() string { return d.name }
 
 // Size implements iss.Device.
 func (d *CosimDev) Size() uint32 { return CosimDevSize }
@@ -169,13 +183,14 @@ func (d *CosimDev) Read(off uint32, size int) (uint32, error) {
 		}
 		return 0, nil
 	default:
-		return 0, fmt.Errorf("cosim: read of unknown register %#x", off)
+		return 0, fmt.Errorf("%s: read of unknown register %#x", d.name, off)
 	}
 }
 
 // Write implements iss.Device.
 func (d *CosimDev) Write(off uint32, size int, v uint32) error {
 	d.mu.Lock()
+	name := d.name // the flush and default paths error after unlocking
 	switch off {
 	case CosimTxByte:
 		d.tx = append(d.tx, byte(v))
@@ -192,7 +207,7 @@ func (d *CosimDev) Write(off uint32, size int, v uint32) error {
 		d.txMessages++
 		d.mu.Unlock()
 		if w == nil {
-			return fmt.Errorf("cosim: flush with no data connection")
+			return fmt.Errorf("%s: flush with no data connection", name)
 		}
 		_, err := w.Write(out)
 		return err
@@ -210,6 +225,6 @@ func (d *CosimDev) Write(off uint32, size int, v uint32) error {
 		return nil
 	default:
 		d.mu.Unlock()
-		return fmt.Errorf("cosim: write to unknown register %#x", off)
+		return fmt.Errorf("%s: write to unknown register %#x", name, off)
 	}
 }

@@ -25,6 +25,10 @@ const TickQuantum = 64
 // Platform bundles a CPU with the standard peripheral set at the
 // standard addresses — the "synthetic target" the RTOS runs on.
 type Platform struct {
+	// ID is the platform's instance id in a multi-processor SoC (0 for
+	// a single-CPU system); set it with SetInstance.
+	ID int
+
 	CPU     *iss.CPU
 	RAM     *iss.RAM
 	Bus     *iss.SystemBus
@@ -62,6 +66,14 @@ func mustMap(bus *iss.SystemBus, base uint32, d iss.Device) {
 	if err := bus.Map(base, d); err != nil {
 		panic(err)
 	}
+}
+
+// SetInstance labels the platform (and its co-simulation bridge
+// device) with its CPU index in a multi-processor SoC, so errors and
+// diagnostics name the guest they came from.
+func (p *Platform) SetInstance(n int) {
+	p.ID = n
+	p.Cosim.SetInstance(n)
 }
 
 // AttachMailbox maps a mailbox endpoint at the standard base.

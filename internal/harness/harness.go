@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -75,6 +76,17 @@ func (s *Scheme) Set(name string) error {
 // CoreName returns the canonical scheme name core.Attach accepts.
 func (s Scheme) CoreName() string { return strings.ToLower(s.String()) }
 
+// ErrSingleCPUScheme reports a multi-CPU request against a scheme that
+// can drive only one ISS. Test with errors.Is.
+var ErrSingleCPUScheme = errors.New("scheme drives a single CPU")
+
+// SupportsMultiCPU reports whether the scheme can drive several guest
+// processors in one run. The lock-step GDB-Wrapper cannot: its clocked
+// sc_method owns exactly one RSP connection. GDB-Kernel multiplexes N
+// free-running stubs; Driver-Kernel multiplexes N data/interrupt
+// channel pairs.
+func (s Scheme) SupportsMultiCPU() bool { return s == GDBKernel || s == DriverKernel }
+
 // Params configures one co-simulation run of the router case study.
 type Params struct {
 	Scheme    Scheme
@@ -94,8 +106,10 @@ type Params struct {
 	// InstrPerCycle is the GDB-Wrapper lock-step quantum (default 8).
 	InstrPerCycle uint64
 	// CPUs is the number of checksum processors servicing the router in
-	// parallel (default 1). Values > 1 are supported for the GDB-Kernel
-	// scheme — the multi-processor SoC configuration of the title.
+	// parallel (default 1) — the multi-processor SoC configuration of
+	// the title. Supported by the GDB-Kernel and Driver-Kernel schemes;
+	// the lock-step GDB-Wrapper rejects values above one with
+	// ErrSingleCPUScheme.
 	CPUs int
 
 	// Traffic shape.
@@ -231,17 +245,22 @@ func Run(p Params) (*Result, error) {
 		}
 	}()
 
-	if p.CPUs > 1 && p.Scheme != GDBKernel {
-		return nil, fmt.Errorf("harness: multiple CPUs are supported with the GDB-Kernel scheme only")
+	if p.CPUs > 1 && !p.Scheme.SupportsMultiCPU() {
+		return nil, fmt.Errorf("harness: %v %w: the lock-step wrapper owns exactly one RSP connection; use gdb-kernel or driver-kernel for CPUs > 1", p.Scheme, ErrSingleCPUScheme)
+	}
+	// A multi-CPU run prefixes each CPU's iss ports so N identical
+	// guests attach to one kernel without colliding.
+	portPrefix := func(n int) string {
+		if p.CPUs > 1 {
+			return fmt.Sprintf("cpu%d.", n)
+		}
+		return ""
 	}
 
 	switch p.Scheme {
 	case GDBWrapper, GDBKernel:
 		for n := 0; n < p.CPUs; n++ {
-			prefix := ""
-			if p.CPUs > 1 {
-				prefix = fmt.Sprintf("cpu%d.", n)
-			}
+			prefix := portPrefix(n)
 			im, err := router.BuildGDBGuest()
 			if err != nil {
 				return nil, err
@@ -284,26 +303,39 @@ func Run(p Params) (*Result, error) {
 		}
 
 	case DriverKernel:
+		// One RTOS guest, one data/interrupt channel pair per CPU; a
+		// single scheme instance routes traffic between them (§5.6).
 		im, err := router.BuildDriverGuest()
 		if err != nil {
 			return nil, err
 		}
-		plat := dev.NewPlatform(0, nil)
-		if p.NoDecodeCache {
-			plat.CPU.SetDecodeCacheEnabled(false)
+		channels := make([]core.DriverChannel, 0, p.CPUs)
+		for n := 0; n < p.CPUs; n++ {
+			plat := dev.NewPlatform(0, nil)
+			plat.SetInstance(n)
+			if p.NoDecodeCache {
+				plat.CPU.SetDecodeCacheEnabled(false)
+			}
+			if err := im.LoadInto(plat.RAM); err != nil {
+				return nil, err
+			}
+			plat.CPU.Reset(im.Entry)
+			target, err := core.ConnectDriverTarget(plat, p.Transport)
+			if err != nil {
+				return nil, err
+			}
+			runner := rtos.NewRunner(plat)
+			runner.Start()
+			cleanup = append(cleanup, runner.Stop)
+			quiesce = append(quiesce, runner.Stop) // Stop is idempotent
+			channels = append(channels, core.DriverChannel{
+				Data:   target.DataHost,
+				IRQ:    target.IRQHost,
+				Prefix: portPrefix(n),
+				Ports:  router.DriverPorts(),
+			})
+			cpus = append(cpus, plat.CPU)
 		}
-		if err := im.LoadInto(plat.RAM); err != nil {
-			return nil, err
-		}
-		plat.CPU.Reset(im.Entry)
-		target, err := core.ConnectDriverTarget(plat, p.Transport)
-		if err != nil {
-			return nil, err
-		}
-		runner := rtos.NewRunner(plat)
-		runner.Start()
-		cleanup = append(cleanup, runner.Stop)
-		quiesce = append(quiesce, runner.Stop) // Stop is idempotent
 		sch, err := core.Attach(k, core.Config{
 			Scheme: p.Scheme.CoreName(),
 			Common: core.CommonOptions{
@@ -311,24 +343,25 @@ func Run(p Params) (*Result, error) {
 				SkewBound: p.SkewBound,
 				Journal:   p.Journal,
 				Obs:       reg,
+				CPUs:      p.CPUs,
 			},
-			Data:  target.DataHost,
-			IRQ:   target.IRQHost,
-			Ports: router.DriverPorts(),
+			Channels: channels,
 		})
 		if err != nil {
 			return nil, err
 		}
-		d := sch.(*core.DriverKernel) // the doorbell below needs RaiseInterrupt
+		d := sch.(*core.DriverKernel) // the doorbells below need RaiseInterruptCPU
 		schemes = append(schemes, sch)
-		cpus = append(cpus, plat.CPU)
-		pktPort, _ := k.IssOutPort(router.PktPortName)
-		csumPort, _ := k.IssInPort(router.CsumPortName)
-		engines = append(engines, router.Engine{
-			Pkt:      pktPort,
-			Csum:     csumPort,
-			Doorbell: func() { d.RaiseInterrupt(router.IntNewPacket) },
-		})
+		for n := 0; n < p.CPUs; n++ {
+			pktPort, _ := k.IssOutPort(portPrefix(n) + router.PktPortName)
+			csumPort, _ := k.IssInPort(portPrefix(n) + router.CsumPortName)
+			id := n
+			engines = append(engines, router.Engine{
+				Pkt:      pktPort,
+				Csum:     csumPort,
+				Doorbell: func() { d.RaiseInterruptCPU(id, router.IntNewPacket) },
+			})
+		}
 
 	default:
 		return nil, fmt.Errorf("harness: unknown scheme %v", p.Scheme)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -221,10 +222,90 @@ func TestMultiCPUScalesThroughput(t *testing.T) {
 	}
 }
 
-func TestMultiCPURejectedForOtherSchemes(t *testing.T) {
-	_, err := Run(Params{Scheme: DriverKernel, CPUs: 2, SimTime: sim.MS})
+func TestMultiCPURejectedForGDBWrapper(t *testing.T) {
+	// The lock-step wrapper owns exactly one RSP connection; asking it
+	// for a multi-processor SoC must fail up front with a typed error.
+	_, err := Run(Params{Scheme: GDBWrapper, CPUs: 2, SimTime: sim.MS})
 	if err == nil {
-		t.Fatal("multi-CPU accepted for Driver-Kernel")
+		t.Fatal("multi-CPU accepted for GDB-Wrapper")
+	}
+	if !errors.Is(err, ErrSingleCPUScheme) {
+		t.Fatalf("error %v is not ErrSingleCPUScheme", err)
+	}
+	if !strings.Contains(err.Error(), "GDB-Wrapper") {
+		t.Fatalf("error %q does not name the scheme", err)
+	}
+}
+
+func TestSupportsMultiCPU(t *testing.T) {
+	if GDBWrapper.SupportsMultiCPU() {
+		t.Error("GDB-Wrapper claims multi-CPU support")
+	}
+	for _, s := range []Scheme{GDBKernel, DriverKernel} {
+		if !s.SupportsMultiCPU() {
+			t.Errorf("%v does not claim multi-CPU support", s)
+		}
+	}
+}
+
+func TestDriverKernelMultiCPU(t *testing.T) {
+	// The paper's title configuration: a multi-processor SoC under the
+	// Driver-Kernel scheme, one RTOS guest per CPU on its own channel
+	// pair. The run must preserve all integrity invariants and show
+	// traffic on both CPUs' channels.
+	res, err := Run(Params{
+		Scheme:    DriverKernel,
+		Transport: core.TransportPipe,
+		SimTime:   2 * sim.MS,
+		Delay:     100 * sim.US,
+		CPUs:      2,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forwarded == 0 {
+		t.Fatal("no packets forwarded")
+	}
+	if res.BadContent != 0 || res.Misrouted != 0 || res.Corrupted != 0 {
+		t.Fatalf("integrity violated: %+v", res)
+	}
+	for _, name := range []string{"driver.cpu0.messages", "driver.cpu1.messages"} {
+		if res.Counters[name] == 0 {
+			t.Errorf("counter %s is zero: both CPUs should carry traffic (have %v)",
+				name, res.Counters)
+		}
+	}
+	// The aggregate must cover the per-CPU counters.
+	perCPU := res.Counters["driver.cpu0.messages"] + res.Counters["driver.cpu1.messages"]
+	if res.Counters["driver.messages"] != perCPU {
+		t.Errorf("aggregate driver.messages = %d, per-CPU sum = %d",
+			res.Counters["driver.messages"], perCPU)
+	}
+}
+
+func TestDriverKernelMultiCPUDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated multi-CPU runs are slow")
+	}
+	run := func() *Result {
+		res, err := Run(Params{
+			Scheme:    DriverKernel,
+			Transport: core.TransportPipe,
+			SimTime:   sim.MS,
+			Delay:     100 * sim.US,
+			CPUs:      2,
+			Seed:      9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Generated != b.Generated || a.Forwarded != b.Forwarded || a.Simulated != b.Simulated {
+		t.Fatalf("multi-CPU run not deterministic: gen %d/%d fwd %d/%d sim %v/%v",
+			a.Generated, b.Generated, a.Forwarded, b.Forwarded, a.Simulated, b.Simulated)
 	}
 }
 

@@ -9,6 +9,7 @@ import "time"
 // the report trivially parseable.
 type Metrics struct {
 	Scheme       string  `json:"scheme"`
+	CPUs         int     `json:"cpus"`
 	SimTime      string  `json:"sim_time"`
 	Delay        string  `json:"delay"`
 	WallNS       int64   `json:"wall_ns"`
@@ -37,6 +38,7 @@ type Metrics struct {
 func (r *Result) Metrics() Metrics {
 	m := Metrics{
 		Scheme:       r.Params.Scheme.String(),
+		CPUs:         r.Params.CPUs,
 		SimTime:      r.Params.SimTime.String(),
 		Delay:        r.Params.Delay.String(),
 		WallNS:       r.Wall.Nanoseconds(),

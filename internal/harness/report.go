@@ -27,12 +27,21 @@ func Table1Scenarios(simTimes []sim.Time, base Params) []Scenario {
 			p.Scheme = s
 			p.SimTime = st
 			scens = append(scens, Scenario{
-				Name:   fmt.Sprintf("table1/%v/sim=%v", s, st),
+				Name:   fmt.Sprintf("table1/%v/sim=%v%s", s, st, cpuTag(p)),
 				Params: p,
 			})
 		}
 	}
 	return scens
+}
+
+// cpuTag is the scenario-name suffix for multi-processor sweeps;
+// single-CPU names stay as they always were.
+func cpuTag(p Params) string {
+	if p.CPUs > 1 {
+		return fmt.Sprintf("/cpus=%d", p.CPUs)
+	}
+	return ""
 }
 
 // Table1Rows folds a completed Table1Scenarios sweep back into rows.
@@ -122,7 +131,7 @@ func Figure7Scenarios(delays []sim.Time, base Params) []Scenario {
 			p.Scheme = s
 			p.Delay = d
 			scens = append(scens, Scenario{
-				Name:   fmt.Sprintf("figure7/%v/delay=%v", s, d),
+				Name:   fmt.Sprintf("figure7/%v/delay=%v%s", s, d, cpuTag(p)),
 				Params: p,
 			})
 		}

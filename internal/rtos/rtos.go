@@ -74,6 +74,10 @@ func Build(app ...asm.Source) (*asm.Image, error) {
 // co-simulation interrupt).
 type Runner struct {
 	P *dev.Platform
+	// ID is the guest's CPU index in a multi-processor SoC, inherited
+	// from the platform's instance id — it identifies which RTOS
+	// instance this runner drives in logs and tests.
+	ID int
 	// IdleSleep is the host-side wait when the guest is in WFI.
 	IdleSleep time.Duration
 	// Quantum is the instruction budget per inner run call.
@@ -86,7 +90,7 @@ type Runner struct {
 
 // NewRunner creates a runner with sensible defaults.
 func NewRunner(p *dev.Platform) *Runner {
-	return &Runner{P: p, IdleSleep: 20 * time.Microsecond, Quantum: 100_000, done: make(chan struct{})}
+	return &Runner{P: p, ID: p.ID, IdleSleep: 20 * time.Microsecond, Quantum: 100_000, done: make(chan struct{})}
 }
 
 // Start launches the run loop in its own goroutine.
