@@ -1,0 +1,102 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against `// want "regexp"` expectations — a
+// stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are trailing line comments on the line the diagnostic is
+// expected at:
+//
+//	t = t + d // want `raw "\+" on sim.Time`
+//	x := f()  // want "dropped without Release"
+//
+// A line may carry several expectations ("// want `a` `b`"). Both
+// quoted ("...") and backquoted (`...`) regexps are accepted. Every
+// diagnostic must match an expectation on its line, and every
+// expectation must be matched by a diagnostic; leftovers on either side
+// fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"cosim/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var argRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory as a package named importPath,
+// applies the analyzer, and reports mismatches through t. The import
+// path matters: rules scoped by package path (schemeerr, timesafe)
+// include or exempt the fixture based on it.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	// Gather expectations from the fixture comments.
+	expects := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range argRe.FindAllStringSubmatch(m[1], -1) {
+					pat := arg[1]
+					if pat == "" {
+						pat = arg[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					byLine := expects[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*expectation)
+						expects[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, e := range expects[pos.Filename][pos.Line] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for file, byLine := range expects {
+		for line, es := range byLine {
+			for _, e := range es {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.re)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"cosim/internal/analysis"
+	"cosim/internal/analysis/suite"
+)
+
+// TestRepositoryIsCosimvetClean runs the full cosimvet suite over every
+// package of the module and fails on any finding, so a regression
+// against the pooling/time/obs/error/locking invariants fails
+// `go test ./...` without anyone remembering to run the tool.
+func TestRepositoryIsCosimvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.ModulePackages(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages found in module")
+	}
+	analyzers := suite.Analyzers()
+	for _, p := range pkgs {
+		loaded, err := analysis.LoadDir(p.Dir, p.ImportPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", p.ImportPath, err)
+		}
+		diags, err := analysis.Run(loaded, analyzers)
+		if err != nil {
+			t.Fatalf("run %s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", loaded.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

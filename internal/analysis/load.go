@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package — the input to Run.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// The loader shares one file set and one source importer across every
+// load in the process: the importer type-checks dependencies (including
+// the standard library) from source, which is expensive the first time
+// and cached afterwards. The source importer resolves module-local
+// import paths through the go command, so the process must run from
+// inside the module — true for both cmd/cosimvet and `go test`.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	sharedImp  types.Importer
+)
+
+func sourceImporter() types.Importer {
+	if sharedImp == nil {
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return sharedImp
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as the package importPath. The import path is caller-chosen: the
+// multichecker derives it from the module path, while analyzer tests
+// pick synthetic paths to place fixtures in or out of a rule's scope.
+func LoadDir(dir, importPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", dir, err)
+	}
+	if len(bp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("load %s: cgo packages are not supported", dir)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: sourceImporter()}
+	pkg, err := conf.Check(importPath, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", dir, err)
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       sharedFset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod and
+// returns that directory plus the module path declared there.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// PackageDir names one analyzable package directory of the module.
+type PackageDir struct {
+	Dir        string
+	ImportPath string
+}
+
+// ModulePackages enumerates the module's package directories (those
+// containing at least one non-test Go file), skipping testdata, vendor
+// and hidden directories. Results are sorted by import path.
+func ModulePackages(root, modPath string) ([]PackageDir, error) {
+	var out []PackageDir
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := build.Default.ImportDir(path, 0); err != nil {
+			return nil // no buildable non-test files here
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, PackageDir{Dir: path, ImportPath: ip})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}

@@ -1,0 +1,148 @@
+// Package lockedfield is a lightweight guarded-field checker. A struct
+// field annotated with a comment of the form
+//
+//	inbox []Message // guarded by mu
+//	rdErr error     // guarded by d.mu
+//
+// may only be accessed in functions that visibly hold the named mutex.
+// "Visibly hold" is deliberately syntactic — this is a tripwire, not a
+// proof: the enclosing function (or method) must either
+//
+//   - contain a call to <path>.Lock() or <path>.RLock() whose final
+//     receiver component matches the guard name ("d.mu.Lock()" and
+//     "mu.Lock()" both satisfy a "guarded by mu" annotation), or
+//   - declare by convention that its caller holds the lock, with a
+//     name ending in "Locked".
+//
+// Constructors (New*/new*) are exempt: the object under construction is
+// not yet shared. The checker does not track lock/unlock ordering or
+// branches; it catches the common real bug — a new method reading a
+// guarded field with no locking at all — and stays quiet otherwise.
+package lockedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedfield",
+	Doc:  "flags access to fields annotated `// guarded by <mu>` in functions that do not visibly hold <mu>",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, fd := range analysis.EnclosingFuncs(pass.Files) {
+		name := fd.Name.Name
+		if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+			continue
+		}
+		callerHolds := strings.HasSuffix(name, "Locked")
+		// One pass over the whole body (closures included): collect the
+		// mutexes this function locks anywhere. Goroutine literals
+		// spawned inside (e.g. a reader loop) lock for themselves, and
+		// their accesses are checked against the same set.
+		held := lockedMutexes(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			fieldVar, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			guard, guarded := guards[fieldVar]
+			if !guarded || callerHolds || held[guard] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s (guarded by %s) accessed in %s, which never locks %s", fieldVar.Name(), guard, name, guard)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectGuards maps annotated field objects to their guard's final
+// name component ("d.mu" -> "mu").
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardFrom(field.Comment) // trailing comment
+				if guard == "" {
+					guard = guardFrom(field.Doc) // doc comment above
+				}
+				if guard == "" {
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardFrom(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	m := guardRe.FindStringSubmatch(cg.Text())
+	if m == nil {
+		return ""
+	}
+	path := m[1]
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// lockedMutexes returns the final name components of every receiver of
+// a .Lock()/.RLock() call in body.
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			held[x.Name] = true
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,12 @@
+package lockedfield_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/lockedfield"
+)
+
+func TestLockedfield(t *testing.T) {
+	analysistest.Run(t, lockedfield.Analyzer, "testdata/src/a", "fixture/a")
+}

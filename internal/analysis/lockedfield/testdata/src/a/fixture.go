@@ -1,0 +1,77 @@
+package a
+
+import "sync"
+
+type inbox struct {
+	mu    sync.Mutex
+	msgs  []int  // guarded by mu
+	count uint64 // guarded by mu
+	open  bool   // unguarded: no annotation, never flagged
+}
+
+// push locks: fine.
+func (b *inbox) push(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.msgs = append(b.msgs, v)
+	b.count++
+}
+
+// peek reads a guarded field with no locking at all.
+func (b *inbox) peek() int {
+	if len(b.msgs) == 0 { // want `field msgs \(guarded by mu\) accessed in peek`
+		return 0
+	}
+	return b.msgs[0] // want `field msgs \(guarded by mu\) accessed in peek`
+}
+
+// size follows the caller-holds-lock naming convention.
+func (b *inbox) sizeLocked() int { return len(b.msgs) }
+
+// flag touches only the unguarded field: fine without the lock.
+func (b *inbox) flag() bool { return b.open }
+
+// newInbox is a constructor: the object is not shared yet.
+func newInbox() *inbox {
+	b := &inbox{}
+	b.msgs = make([]int, 0, 8)
+	return b
+}
+
+// reader is the cross-object case: the guard lives on another struct
+// ("guarded by d.mu" resolves to the final component "mu").
+type owner struct {
+	mu   sync.Mutex
+	w    worker
+	wErr error // guarded by d.mu
+}
+
+type worker struct{ d *owner }
+
+// record locks through the owner pointer: fine.
+func (w *worker) record(d *owner, err error) {
+	d.mu.Lock()
+	d.wErr = err
+	d.mu.Unlock()
+}
+
+// steal reads the guarded field without the owner's mutex.
+func (w *worker) steal(d *owner) error {
+	return d.wErr // want `field wErr \(guarded by mu\) accessed in steal`
+}
+
+// spawn locks inside a goroutine literal: the lightweight checker
+// accepts a lock anywhere in the enclosing body.
+func (d *owner) spawn() {
+	go func() {
+		d.mu.Lock()
+		d.wErr = nil
+		d.mu.Unlock()
+	}()
+}
+
+// suppressed: the documented escape hatch.
+func (d *owner) suppressed() error {
+	//cosimvet:ignore lockedfield fixture exercises the suppression directive
+	return d.wErr
+}

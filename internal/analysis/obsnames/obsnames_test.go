@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, obsnames.Analyzer, "testdata/src/a", "fixture/a")
+}

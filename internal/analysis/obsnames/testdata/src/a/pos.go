@@ -1,0 +1,38 @@
+package a
+
+import (
+	"fmt"
+
+	"cosim/internal/obs"
+)
+
+type dev struct {
+	r  *obs.Registry
+	id int
+}
+
+// flush is a hot path: per-flush Sprintf lookups allocate.
+func (d *dev) flush(n uint64) {
+	d.r.Gauge(fmt.Sprintf("driver.cpu%d.pending_reads", d.id)).Set(n) // want `built dynamically in flush`
+}
+
+// record concatenates the name per call.
+func (d *dev) record(suffix string) {
+	d.r.Counter("driver." + suffix).Inc() // want `concatenated in record`
+}
+
+// offGrammar uses a name inside the per-CPU namespace that is not in
+// the documented metric set.
+func newOffGrammar(r *obs.Registry) *obs.Counter {
+	return r.Counter("driver.cpu0.bogus_metric") // want `undocumented per-CPU metric "bogus_metric"`
+}
+
+// malformed per-CPU name: no metric segment at all.
+func newMalformed(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("driver.cpuX") // want `does not match the driver.cpu<N>.<metric> grammar`
+}
+
+// Sprintf formats are grammar-checked even in constructors.
+func newSprintfOffGrammar(r *obs.Registry, id int) *obs.Counter {
+	return r.Counter(fmt.Sprintf("driver.cpu%d.typo_metric", id)) // want `undocumented per-CPU metric "typo_metric"`
+}

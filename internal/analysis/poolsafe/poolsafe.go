@@ -1,0 +1,561 @@
+// Package poolsafe checks the core.Message buffer-pool ownership
+// protocol. Messages decoded by core.ReadMessage carry a payload buffer
+// borrowed from the codec pool; the contract (PR 1) is that each such
+// buffer is handed back with exactly one Release once the payload is
+// delivered. Three rule families:
+//
+//   - double release: a second x.Release() reachable while x may
+//     already be released returns the same buffer to the pool twice —
+//     two future decodes then share one backing array.
+//   - use after release: reading x.Data after x.Release() observes a
+//     buffer another decode may already be overwriting.
+//   - dropped message: a value decoded from ReadMessage that is never
+//     released and never handed to another owner (returned, stored,
+//     sent, passed to a call, or captured by a closure) silently leaks
+//     its buffer to the GC instead of the pool.
+//
+// The analysis is intraprocedural and deliberately "may"-flavoured: a
+// release inside one branch joins as "maybe released", so a
+// conditional release followed by an unconditional one is flagged (it
+// double-releases on that path). Ownership transfers are trusted — once
+// a message is passed to any call or captured, the callee is assumed to
+// release it. Function literals are analyzed as independent units for
+// the variables they declare themselves.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags double-Release, use-after-Release and dropped codec-decoded core.Message values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var units []*ast.BlockStmt
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					units = append(units, n.Body)
+				}
+			case *ast.FuncLit:
+				units = append(units, n.Body)
+			}
+			return true
+		})
+	}
+	for _, body := range units {
+		c := newChecker(pass, body)
+		c.flow(body.List, make(state))
+		c.checkDropped()
+	}
+	return nil, nil
+}
+
+// state maps a tracked variable to "may be released here".
+type state map[*types.Var]bool
+
+func clone(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+	body *ast.BlockStmt
+
+	// tracked are core.Message (or *core.Message) variables declared in
+	// this unit (nested function literals excluded — they are their own
+	// units).
+	tracked map[*types.Var]bool
+	// escaped variables left this unit's control (captured by a nested
+	// literal or handed to a goroutine); flow checks stop for them.
+	escaped map[*types.Var]bool
+	// decoded maps ReadMessage-decoded variables to the position of the
+	// decode, for the dropped-message check.
+	decoded map[*types.Var]token.Pos
+	// released / transferred record whether any release / ownership
+	// transfer was seen for a variable anywhere in the unit.
+	released    map[*types.Var]bool
+	transferred map[*types.Var]bool
+}
+
+func newChecker(pass *analysis.Pass, body *ast.BlockStmt) *checker {
+	c := &checker{
+		pass:        pass,
+		body:        body,
+		tracked:     make(map[*types.Var]bool),
+		escaped:     make(map[*types.Var]bool),
+		decoded:     make(map[*types.Var]token.Pos),
+		released:    make(map[*types.Var]bool),
+		transferred: make(map[*types.Var]bool),
+	}
+	c.prescan()
+	return c
+}
+
+// isMessage reports whether t is core.Message or *core.Message.
+func isMessage(t types.Type) bool {
+	return analysis.NamedType(t, "internal/core", "Message")
+}
+
+// inspectUnit walks n, skipping nested function literals.
+func inspectUnit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// prescan collects this unit's tracked and decoded variables, plus the
+// unit-wide release/transfer/escape facts the dropped check needs.
+func (c *checker) prescan() {
+	// Pass 1: declarations.
+	inspectUnit(c.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok && isMessage(v.Type()) {
+			c.tracked[v] = true
+		}
+		return true
+	})
+	// Pass 2: decodes, releases, transfers, escapes. FuncLits are
+	// handled here directly (inspectUnit would hide them): variables
+	// they capture escape this unit, and their bodies are not descended
+	// into — each literal is analyzed as its own unit by run.
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && c.tracked[v] {
+						c.escaped[v] = true
+						c.transferred[v] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.scanAssign(n)
+		case *ast.CallExpr:
+			if v := c.releaseReceiver(n); v != nil {
+				c.released[v] = true
+				return true
+			}
+			for _, arg := range n.Args {
+				if v := c.varOf(arg); v != nil {
+					c.transferred[v] = true
+				}
+				if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if v := c.varOf(un.X); v != nil {
+						c.transferred[v] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if v := c.varOf(r); v != nil {
+					c.transferred[v] = true
+				}
+			}
+		case *ast.SendStmt:
+			if v := c.varOf(n.Value); v != nil {
+				c.transferred[v] = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if v := c.varOf(el); v != nil {
+					c.transferred[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) scanAssign(n *ast.AssignStmt) {
+	// RHS direct call to core.ReadMessage -> the first LHS variable is a
+	// decoded message.
+	if len(n.Rhs) == 1 {
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok && c.isReadMessage(call) && len(n.Lhs) >= 1 {
+			if v := c.lhsVar(n.Lhs[0]); v != nil {
+				if _, seen := c.decoded[v]; !seen {
+					c.decoded[v] = n.Lhs[0].Pos()
+				}
+			}
+			return
+		}
+	}
+	// Copy assignment "y := m" transfers ownership to the new alias
+	// (which is itself tracked and checked).
+	for _, r := range n.Rhs {
+		if v := c.varOf(r); v != nil {
+			c.transferred[v] = true
+		}
+	}
+}
+
+func (c *checker) isReadMessage(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Name() != "ReadMessage" {
+		return false
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == c.pass.Pkg.Path() && pkg.Name() == "core" ||
+		hasSuffix(pkg.Path(), "internal/core")
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// varOf resolves a plain identifier expression to a tracked variable.
+func (c *checker) varOf(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if ok && c.tracked[v] {
+		return v
+	}
+	return nil
+}
+
+// lhsVar resolves an assignment target identifier (defined or used).
+func (c *checker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok && c.tracked[v] {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && c.tracked[v] {
+		return v
+	}
+	return nil
+}
+
+// releaseReceiver returns the tracked variable x for a call x.Release()
+// on a message value, or nil.
+func (c *checker) releaseReceiver(call *ast.CallExpr) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+		return nil
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || !isMessage(tv.Type) {
+		return nil
+	}
+	return c.varOf(sel.X)
+}
+
+// checkDropped reports decoded variables with neither a release nor an
+// ownership transfer anywhere in the unit.
+func (c *checker) checkDropped() {
+	for v, pos := range c.decoded {
+		if !c.released[v] && !c.transferred[v] {
+			c.pass.Reportf(pos, "core.Message %q decoded from the codec pool is dropped without Release; its buffer leaks to the GC instead of the pool", v.Name())
+		}
+	}
+}
+
+// ---- flow walk: double release / use after release ----
+
+// flow walks a statement list, mutating st; returns whether control
+// definitely leaves the enclosing function (return / branch).
+func (c *checker) flow(stmts []ast.Stmt, st state) bool {
+	for _, s := range stmts {
+		if c.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.flow(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.simple(s.Init, st)
+		}
+		c.uses(s.Cond, st)
+		thenSt := clone(st)
+		thenTerm := c.stmt(s.Body, thenSt)
+		elseSt := clone(st)
+		elseTerm := false
+		hasElse := s.Else != nil
+		if hasElse {
+			elseTerm = c.stmt(s.Else, elseSt)
+		}
+		if thenTerm && hasElse && elseTerm {
+			return true
+		}
+		joinInto(st, thenSt, thenTerm)
+		if hasElse {
+			joinInto(st, elseSt, elseTerm)
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.simple(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.uses(s.Cond, st)
+		}
+		bodySt := clone(st)
+		term := c.flow(s.Body.List, bodySt)
+		if s.Post != nil && !term {
+			c.simple(s.Post, bodySt)
+		}
+		joinInto(st, bodySt, term)
+		return false
+	case *ast.RangeStmt:
+		c.uses(s.X, st)
+		bodySt := clone(st)
+		// The iteration variables are freshly assigned every pass.
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				if v := c.lhsVar(e); v != nil {
+					bodySt[v] = false
+				}
+			}
+		}
+		term := c.flow(s.Body.List, bodySt)
+		joinInto(st, bodySt, term)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.uses(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list.
+		return true
+	case *ast.DeferStmt:
+		// A deferred Release runs at exit; it neither enables nor is
+		// subject to the sequential checks here (the dropped check
+		// already saw it in prescan). Argument uses are evaluated now.
+		for _, a := range s.Call.Args {
+			c.uses(a, st)
+		}
+		return false
+	case *ast.GoStmt:
+		// The spawned goroutine runs at an arbitrary time; every
+		// message it touches escapes sequential reasoning.
+		inspectUnit(s.Call, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && c.tracked[v] {
+					c.escaped[v] = true
+				}
+			}
+			return true
+		})
+		return false
+	default:
+		c.simple(s, st)
+		return false
+	}
+}
+
+// branches walks each clause of a switch/type-switch/select with a
+// copy of st and joins the surviving states.
+func (c *checker) branches(s ast.Stmt, st state) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.simple(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.uses(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.simple(s.Init, st)
+		}
+		c.simple(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	allTerm := true
+	var outs []state
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.uses(e, st)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.simple(cl.Comm, st)
+			}
+			stmts = cl.Body
+		}
+		clSt := clone(st)
+		term := c.flow(stmts, clSt)
+		if !term {
+			allTerm = false
+			outs = append(outs, clSt)
+		}
+	}
+	if hasDefault && allTerm && len(body.List) > 0 {
+		return true
+	}
+	for _, o := range outs {
+		joinInto(st, o, false)
+	}
+	return false
+}
+
+// joinInto merges a branch's may-release facts into st; a terminated
+// branch contributes nothing (its releases cannot flow past it).
+func joinInto(st, branch state, terminated bool) {
+	if terminated {
+		return
+	}
+	for v, rel := range branch {
+		if rel {
+			st[v] = true
+		}
+	}
+}
+
+// simple processes a non-branching statement: uses first (against the
+// incoming state), then releases, then reassignment resets.
+func (c *checker) simple(s ast.Stmt, st state) {
+	releases := make(map[*types.Var]ast.Node)
+	inspectUnit(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v := c.releaseReceiver(call); v != nil {
+				releases[v] = call
+				// Don't also count the receiver as a use.
+				for _, a := range call.Args {
+					c.uses(a, st)
+				}
+				return false
+			}
+		}
+		return true
+	})
+
+	// Uses (excluding release receivers and plain assignment targets).
+	assignTargets := make(map[*types.Var]bool)
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if v := c.lhsVar(id); v != nil {
+					assignTargets[v] = true
+				}
+			}
+		}
+	}
+	inspectUnit(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v := c.releaseReceiver(call); v != nil && releases[v] != nil {
+				return false // receiver handled as a release, not a use
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !c.tracked[v] || c.escaped[v] || assignTargets[v] {
+			return true
+		}
+		if st[v] {
+			c.pass.Reportf(id.Pos(), "core.Message %q used after Release; its buffer may already back another decode", v.Name())
+			st[v] = false // report once per lapse
+		}
+		return true
+	})
+
+	// Releases.
+	for v, at := range releases {
+		if c.escaped[v] {
+			continue
+		}
+		if st[v] {
+			c.pass.Reportf(at.Pos(), "core.Message %q may be released twice; the pooled buffer would be handed out to two decodes at once", v.Name())
+		}
+		st[v] = true
+	}
+
+	// Reassignment gives the variable a fresh message.
+	for v := range assignTargets {
+		st[v] = false
+	}
+}
+
+// uses flags use-after-release occurrences inside a bare expression.
+func (c *checker) uses(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	inspectUnit(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !c.tracked[v] || c.escaped[v] {
+			return true
+		}
+		if st[v] {
+			c.pass.Reportf(id.Pos(), "core.Message %q used after Release; its buffer may already back another decode", v.Name())
+			st[v] = false
+		}
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+package a
+
+import (
+	"bufio"
+
+	"cosim/internal/core"
+)
+
+// leak decodes a message and drops it: the pooled Data buffer is lost.
+func leak(r *bufio.Reader) int {
+	m, err := core.ReadMessage(r) // want `dropped without Release`
+	if err != nil {
+		return 0
+	}
+	return len(m.Data)
+}
+
+// doubleRelease returns the same buffer to the pool twice.
+func doubleRelease(r *bufio.Reader) {
+	m, _ := core.ReadMessage(r)
+	m.Release()
+	m.Release() // want `may be released twice`
+}
+
+// useAfterRelease reads Data from a buffer that is already back in the
+// pool.
+func useAfterRelease(r *bufio.Reader) int {
+	m, _ := core.ReadMessage(r)
+	m.Release()
+	return len(m.Data) // want `used after Release`
+}
+
+// condDoubleRelease double-releases on the fast == true path.
+func condDoubleRelease(r *bufio.Reader, fast bool) {
+	m, _ := core.ReadMessage(r)
+	if fast {
+		m.Release()
+	}
+	m.Release() // want `may be released twice`
+}
+
+// loopUse releases inside a loop body and keeps using the message.
+func loopUse(r *bufio.Reader, n int) uint64 {
+	m, _ := core.ReadMessage(r)
+	var sum uint64
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			m.Release()
+		}
+		sum += uint64(m.Cycles) // want `used after Release`
+	}
+	return sum
+}

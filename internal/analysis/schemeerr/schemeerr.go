@@ -1,0 +1,190 @@
+// Package schemeerr enforces the Driver-Kernel/GDB-scheme error
+// contract: every error produced inside a scheme implementation must
+// name the guest it belongs to (the per-CPU label or the scheme name),
+// so a failing 8-CPU run says "driver-kernel cpu3: data socket: ..."
+// instead of an anonymous "connection reset".
+//
+// Scope: packages whose import path contains "internal/core", and
+// within them only methods of scheme-carrying types — types that
+// implement the core.Scheme interface, or that hold a `label` or
+// `schemeName` context field. Inside that scope a bare
+// fmt.Errorf/errors.New is flagged unless it
+//
+//   - is the errf context helper itself (those are exempt by name),
+//   - spells the label explicitly ("%s: ..." with a label/schemeName
+//     field as the first operand), or
+//   - starts with a literal scheme prefix ("driver-kernel:",
+//     "gdb-kernel:", "gdb-wrapper:"), the idiom of constructors and the
+//     fail() wrappers.
+//
+// Free functions (pragma parsing, binding resolution, the wire codec)
+// are out of scope: their "core:"/file:line prefixes are the right
+// context for configuration-time errors.
+package schemeerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "schemeerr",
+	Doc:  "flags bare fmt.Errorf/errors.New in scheme implementations that omit the cpu/port context helper",
+	Run:  run,
+}
+
+// schemePrefixes are the literal message prefixes that already carry
+// scheme identity.
+var schemePrefixes = []string{"driver-kernel", "gdb-kernel", "gdb-wrapper"}
+
+// contextFields mark a type as scheme-carrying when present.
+var contextFields = map[string]bool{"label": true, "schemeName": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/core") {
+		return nil, nil
+	}
+	schemeIface := lookupSchemeInterface(pass.Pkg)
+	for _, fd := range analysis.EnclosingFuncs(pass.Files) {
+		if fd.Recv == nil || fd.Name.Name == "errf" {
+			continue
+		}
+		recv := receiverType(pass, fd)
+		if recv == nil || !schemeCarrying(recv, schemeIface) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := errorCtor(pass, call)
+			if kind == "" {
+				return true
+			}
+			if hasContext(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "bare %s in scheme method %s lacks cpu/port context; use the errf helper or prefix the message with the scheme label", kind, fd.Name.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// lookupSchemeInterface finds the package's Scheme interface, if any.
+func lookupSchemeInterface(pkg *types.Package) *types.Interface {
+	obj := pkg.Scope().Lookup("Scheme")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func receiverType(pass *analysis.Pass, fd *ast.FuncDecl) types.Type {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		// Unnamed receivers still record the type on the field's names.
+		if len(fd.Recv.List[0].Names) > 0 {
+			if obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	return tv.Type
+}
+
+// schemeCarrying reports whether t implements Scheme or carries a
+// label/schemeName context field (directly or via embedding).
+func schemeCarrying(t types.Type, iface *types.Interface) bool {
+	if iface != nil {
+		if types.Implements(t, iface) {
+			return true
+		}
+		if _, ok := t.(*types.Pointer); !ok {
+			if types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+	}
+	return hasContextField(t, 0)
+}
+
+func hasContextField(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if contextFields[f.Name()] {
+			return true
+		}
+		if f.Embedded() && hasContextField(f.Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// errorCtor classifies a call as fmt.Errorf or errors.New (by type
+// information, so renamed imports are still caught), returning "" for
+// anything else.
+func errorCtor(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		return "fmt.Errorf"
+	case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+		return "errors.New"
+	}
+	return ""
+}
+
+// hasContext reports whether the error call already carries scheme
+// context.
+func hasContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	format := constant.StringVal(tv.Value)
+	for _, p := range schemePrefixes {
+		if strings.HasPrefix(format, p) {
+			return true
+		}
+	}
+	// "%s: ..." with a label/schemeName field as the first operand.
+	if strings.HasPrefix(format, "%s") && len(call.Args) >= 2 {
+		if sel, ok := call.Args[1].(*ast.SelectorExpr); ok && contextFields[sel.Sel.Name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package schemeerr_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/schemeerr"
+)
+
+func TestSchemeerr(t *testing.T) {
+	analysistest.Run(t, schemeerr.Analyzer, "testdata/src/core", "fixture/internal/core/fixture")
+}
+
+// Outside internal/core the rule does not apply at all.
+func TestSchemeerrOutOfScope(t *testing.T) {
+	analysistest.Run(t, schemeerr.Analyzer, "testdata/src/other", "fixture/other")
+}

@@ -1,0 +1,79 @@
+// Package fixturecore mirrors the shape of internal/core's scheme
+// implementations: a Scheme interface, a per-CPU type with a label
+// field and its errf helper, and methods that construct errors well and
+// badly.
+package fixturecore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scheme mirrors core.Scheme; implementing it puts a type in scope.
+type Scheme interface {
+	Name() string
+	Err() error
+}
+
+// driverCPU carries a label context field (the other way into scope).
+type driverCPU struct {
+	label string
+	err   error
+}
+
+// errf is the context helper; it is exempt by name.
+func (c *driverCPU) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: "+format, append([]any{any(c.label)}, args...)...)
+}
+
+func (c *driverCPU) bad(port string) {
+	c.err = fmt.Errorf("WRITE to unknown port %q", port) // want `bare fmt.Errorf in scheme method bad`
+}
+
+func (c *driverCPU) badNew() {
+	c.err = errors.New("socket closed") // want `bare errors.New in scheme method badNew`
+}
+
+func (c *driverCPU) badWrap(err error) {
+	c.err = fmt.Errorf("data socket: %w", err) // want `bare fmt.Errorf in scheme method badWrap`
+}
+
+func (c *driverCPU) okHelper(port string) {
+	c.err = c.errf("WRITE to unknown port %q", port)
+}
+
+func (c *driverCPU) okExplicitLabel(port string) {
+	c.err = fmt.Errorf("%s: READ of unknown port %q", c.label, port)
+}
+
+func (c *driverCPU) suppressed() {
+	//cosimvet:ignore schemeerr fixture exercises the suppression directive
+	c.err = errors.New("deliberately bare")
+}
+
+// kernelScheme implements the package's Scheme interface.
+type kernelScheme struct{ err error }
+
+func (k *kernelScheme) Name() string { return "driver-kernel" }
+func (k *kernelScheme) Err() error   { return k.err }
+
+func (k *kernelScheme) okPrefix(n int) {
+	k.err = fmt.Errorf("driver-kernel: CPUs = %d but no channels given", n)
+}
+
+func (k *kernelScheme) badBare() {
+	k.err = errors.New("boom") // want `bare errors.New in scheme method badBare`
+}
+
+// parser is NOT scheme-carrying: configuration-time errors keep their
+// file/line prefixes and are out of scope.
+type parser struct{ src string }
+
+func (p *parser) parse(line int) error {
+	return fmt.Errorf("%s:%d: empty co-simulation pragma", p.src, line)
+}
+
+// resolveBinding is a free function: out of scope.
+func resolveBinding(port string) error {
+	return fmt.Errorf("core: binding %q: no breakpoint location", port)
+}

@@ -1,0 +1,14 @@
+// Package other is loaded under an import path outside internal/core:
+// the same bare-error shapes must not be flagged there.
+package other
+
+import "errors"
+
+type worker struct {
+	label string
+	err   error
+}
+
+func (w *worker) fail() {
+	w.err = errors.New("bare but out of scope")
+}

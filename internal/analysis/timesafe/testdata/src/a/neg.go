@@ -1,0 +1,44 @@
+package a
+
+import "cosim/internal/sim"
+
+// Constant expressions fold at compile time and cannot wrap at run time.
+const window = 2*sim.MS + 500*sim.US
+
+// scale: multiplication and division are how durations are built and
+// averaged; the saturating helpers compose on top of them.
+func scale(n uint64, period sim.Time) sim.Time {
+	return sim.Time(n) * period
+}
+
+func mean(total sim.Time, n uint64) sim.Time {
+	if n == 0 {
+		return 0
+	}
+	return total / sim.Time(n)
+}
+
+// helpers: the blessed API.
+func helpers(t, d, u sim.Time) bool {
+	t = t.Add(d)
+	t = t.Sub(d)
+	t = t.AddCycles(8, d)
+	return t.Before(u) || t.After(u) || t.AtOrAfter(u)
+}
+
+// equality cannot be confused by wraparound.
+func equal(t, u sim.Time) bool { return t == u || t != u }
+
+// ordering against a compile-time constant bound is legal.
+func bounds(t sim.Time) bool {
+	return t > 0 && t < sim.MaxTime
+}
+
+// arithmetic on the underlying integer type is out of scope.
+func raw(t sim.Time) uint64 { return uint64(t) + 1 }
+
+// suppressed: the documented escape hatch.
+func suppressed(t, d sim.Time) sim.Time {
+	//cosimvet:ignore timesafe fixture exercises the suppression directive
+	return t + d
+}

@@ -1,0 +1,38 @@
+package a
+
+import "cosim/internal/sim"
+
+func add(t, d sim.Time) sim.Time {
+	return t + d // want `raw "\+" on sim.Time`
+}
+
+func sub(t, d sim.Time) sim.Time {
+	return t - d // want `raw "-" on sim.Time`
+}
+
+func mixedConst(t sim.Time) sim.Time {
+	return t + 5*sim.NS // want `raw "\+" on sim.Time`
+}
+
+func compare(t, u sim.Time) bool {
+	if t < u { // want `use sim.Time.Before`
+		return true
+	}
+	if t > u { // want `use sim.Time.After`
+		return true
+	}
+	if t <= u { // want `use sim.Time.Before/AtOrAfter`
+		return true
+	}
+	return t >= u // want `use sim.Time.AtOrAfter`
+}
+
+func accumulate(ts []sim.Time) sim.Time {
+	var total sim.Time
+	for _, t := range ts {
+		total += t // want `raw "\+=" on sim.Time`
+	}
+	total -= ts[0] // want `raw "-=" on sim.Time`
+	total++        // want `raw "\+\+" on sim.Time`
+	return total
+}

@@ -1,0 +1,96 @@
+// Package timesafe flags raw wrap-prone arithmetic on sim.Time outside
+// internal/sim. sim.Time is an unsigned picosecond count: `+` and `-`
+// wrap silently on overflow and `<`/`>` misorder wrapped values — the
+// PR 1 targetTime bug class. Everything outside the sim package must go
+// through the saturating helpers (Time.Add, Time.Sub, Time.AddCycles,
+// Time.Before/After/AtOrAfter) instead. Multiplication and division are
+// permitted: they are how durations are scaled ("3 * sim.US") and
+// averaged, and the helpers build on them.
+package timesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "timesafe",
+	Doc:  "flags raw +/-/ordering arithmetic on sim.Time outside internal/sim; use the wraparound-safe Time helpers",
+	Run:  run,
+}
+
+// helper names the replacement for each banned operator.
+var helper = map[token.Token]string{
+	token.ADD:        "Add",
+	token.SUB:        "Sub",
+	token.LSS:        "Before",
+	token.GTR:        "After",
+	token.LEQ:        "Before/AtOrAfter",
+	token.GEQ:        "AtOrAfter",
+	token.ADD_ASSIGN: "Add",
+	token.SUB_ASSIGN: "Sub",
+	token.INC:        "Add",
+	token.DEC:        "Sub",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/sim") {
+		return nil, nil // the helpers themselves live here
+	}
+	isTime := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && analysis.NamedType(tv.Type, "internal/sim", "Time")
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				h, banned := helper[n.Op]
+				if !banned {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded at compile time; cannot wrap at run time
+				}
+				if cmpConst(pass, n) {
+					return true
+				}
+				if isTime(n.X) || isTime(n.Y) {
+					pass.Reportf(n.OpPos, "raw %q on sim.Time wraps on overflow; use sim.Time.%s", n.Op.String(), h)
+				}
+			case *ast.AssignStmt:
+				h, banned := helper[n.Tok]
+				if banned && len(n.Lhs) == 1 && isTime(n.Lhs[0]) {
+					pass.Reportf(n.TokPos, "raw %q on sim.Time wraps on overflow; use sim.Time.%s", n.Tok.String(), h)
+				}
+			case *ast.IncDecStmt:
+				if isTime(n.X) {
+					pass.Reportf(n.TokPos, "raw %q on sim.Time wraps on overflow; use sim.Time.%s", n.Tok.String(), helper[n.Tok])
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// cmpConst reports whether n is an ordering comparison against a
+// compile-time constant operand. Comparing a Time against a constant
+// bound ("t < sim.MaxTime", "delay > 0") cannot be confused by run-time
+// wraparound of the other operand, so it stays legal.
+func cmpConst(pass *analysis.Pass, n *ast.BinaryExpr) bool {
+	switch n.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && tv.Value != nil
+	}
+	return isConst(n.X) || isConst(n.Y)
+}

@@ -1,0 +1,17 @@
+package timesafe_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/timesafe"
+)
+
+func TestTimesafe(t *testing.T) {
+	analysistest.Run(t, timesafe.Analyzer, "testdata/src/a", "fixture/a")
+}
+
+// Inside internal/sim the raw arithmetic IS the helper implementation.
+func TestTimesafeExemptInsideSim(t *testing.T) {
+	analysistest.Run(t, timesafe.Analyzer, "testdata/src/exempt", "fixture/internal/sim")
+}

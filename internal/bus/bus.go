@@ -174,7 +174,7 @@ func (b *Bus) arbiter(c *sim.Ctx) {
 		// Bus occupancy: the transaction holds the bus for N cycles.
 		occupancy := sim.Time(b.cfg.CyclesPerTransaction) * period
 		c.WaitTime(occupancy)
-		b.busyTime += occupancy
+		b.busyTime = b.busyTime.Add(occupancy)
 
 		m, ok := b.decode(t.Addr)
 		if !ok {

@@ -38,16 +38,17 @@ type DriverKernel struct {
 	waitTimeout time.Duration // how long a conservative wait may block
 
 	mu     sync.Mutex
-	inbox  []Message     // CPU-tagged; drained by the begin-of-cycle hook
+	inbox  []Message     // CPU-tagged, drained by the begin-of-cycle hook; guarded by mu
 	notify chan struct{} // signalled by a reader when messages arrive
 
 	cpus []*driverCPU
 
 	journal *Journal
 
-	err   error
-	stats Stats
-	obs   driverObs
+	err    error
+	stats  Stats
+	obs    driverObs
+	obsReg *obs.Registry // registry the obs handles were resolved against
 }
 
 // driverCPU is the per-processor half of the scheme: one channel pair,
@@ -92,14 +93,15 @@ type driverCPU struct {
 // pre-resolved at attach time; all fields are nil (no-ops) without a
 // registry.
 type driverObs struct {
-	polls      *obs.Counter
-	messages   *obs.Counter
-	writes     *obs.Counter
-	reads      *obs.Counter
-	replies    *obs.Counter
-	interrupts *obs.Counter
-	skewWaits  *obs.Counter
-	skewWaitNS *obs.Histogram
+	polls        *obs.Counter
+	messages     *obs.Counter
+	writes       *obs.Counter
+	reads        *obs.Counter
+	replies      *obs.Counter
+	interrupts   *obs.Counter
+	skewWaits    *obs.Counter
+	skewWaitNS   *obs.Histogram
+	pendingReads *obs.Gauge
 }
 
 func (o *driverObs) init(r *obs.Registry) {
@@ -111,6 +113,7 @@ func (o *driverObs) init(r *obs.Registry) {
 	o.interrupts = r.Counter("driver.interrupts")
 	o.skewWaits = r.Counter("driver.skew_waits")
 	o.skewWaitNS = r.Histogram("driver.skew_wait_ns")
+	o.pendingReads = r.Gauge("driver.pending_reads")
 }
 
 // driverCPUObs is the per-CPU counter set ("driver.cpu0.messages", ...)
@@ -120,13 +123,20 @@ type driverCPUObs struct {
 	messages   *obs.Counter
 	interrupts *obs.Counter
 	skewWaits  *obs.Counter
+
+	// pendingReads and its name are resolved once here so Publish — a
+	// per-flush hot path — never rebuilds "driver.cpuN.*" strings. The
+	// name is kept for Publish calls against a foreign registry.
+	pendingReads     *obs.Gauge
+	pendingReadsName string
 }
 
 func (o *driverCPUObs) init(r *obs.Registry, id int) {
-	p := fmt.Sprintf("driver.cpu%d.", id)
-	o.messages = r.Counter(p + "messages")
-	o.interrupts = r.Counter(p + "interrupts")
-	o.skewWaits = r.Counter(p + "skew_waits")
+	o.messages = r.Counter(fmt.Sprintf("driver.cpu%d.messages", id))
+	o.interrupts = r.Counter(fmt.Sprintf("driver.cpu%d.interrupts", id))
+	o.skewWaits = r.Counter(fmt.Sprintf("driver.cpu%d.skew_waits", id))
+	o.pendingReadsName = fmt.Sprintf("driver.cpu%d.pending_reads", id)
+	o.pendingReads = r.Gauge(o.pendingReadsName)
 }
 
 // DriverChannel is one CPU's co-simulation transport: the kernel-side
@@ -182,6 +192,7 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 		waitTimeout: time.Second,
 		journal:     opts.Journal,
 		notify:      make(chan struct{}, 1),
+		obsReg:      opts.Obs,
 	}
 	d.obs.init(opts.Obs)
 	for i, ch := range channels {
@@ -280,14 +291,26 @@ func (d *DriverKernel) Detach() {}
 
 // Publish implements Scheme: the Driver-Kernel protocol has no
 // transport-level totals beyond its live counters, so only the pending
-// read backlogs are published (aggregate plus per CPU).
+// read backlogs are published (aggregate plus per CPU). The gauge
+// handles are resolved at attach time, so publishing into the attach
+// registry allocates nothing; a foreign registry falls back to a lookup
+// by the precomputed per-CPU name.
 func (d *DriverKernel) Publish(r *obs.Registry) {
 	total := 0
 	for _, c := range d.cpus {
-		total += len(c.pendingReads)
-		r.Gauge(fmt.Sprintf("driver.cpu%d.pending_reads", c.id)).Set(uint64(len(c.pendingReads)))
+		n := len(c.pendingReads)
+		total += n
+		g := c.obs.pendingReads
+		if r != d.obsReg {
+			g = r.Gauge(c.obs.pendingReadsName)
+		}
+		g.Set(uint64(n))
 	}
-	r.Gauge("driver.pending_reads").Set(uint64(total))
+	if r == d.obsReg {
+		d.obs.pendingReads.Set(uint64(total))
+	} else {
+		r.Gauge("driver.pending_reads").Set(uint64(total))
+	}
 }
 
 // RaiseInterrupt queues an interrupt for CPU 0's guest driver — the
@@ -311,6 +334,12 @@ func (d *DriverKernel) RaiseInterruptCPU(cpu int, id uint32) {
 	c.intQueue = append(c.intQueue, id)
 }
 
+// errf builds a scheme error carrying this CPU's label ("driver-kernel
+// cpu0: ...") so multi-CPU failures identify the offending channel.
+func (c *driverCPU) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: "+format, append([]any{any(c.label)}, args...)...)
+}
+
 // targetTime maps a guest cycle stamp to simulated time (32-bit
 // wrap-aware).
 func (c *driverCPU) targetTime(cycles uint32) sim.Time {
@@ -318,12 +347,12 @@ func (c *driverCPU) targetTime(cycles uint32) sim.Time {
 		return c.d.k.Now()
 	}
 	delta := cycles - c.syncCycles // wraps correctly in uint32
-	return c.syncTime + sim.Time(delta)*c.d.period
+	return c.syncTime.AddCycles(uint64(delta), c.d.period)
 }
 
 func (c *driverCPU) advanceSync(cycles uint32, t sim.Time) {
 	c.syncCycles = cycles
-	if t > c.d.k.Now() {
+	if t.After(c.d.k.Now()) {
 		c.syncTime = t
 	} else {
 		c.syncTime = c.d.k.Now()
@@ -356,7 +385,7 @@ func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
 		return
 	}
 	for _, c := range d.cpus {
-		if !c.outstanding || k.Now() < c.outSince+d.skewBound {
+		if !c.outstanding || k.Now().Before(c.outSince.Add(d.skewBound)) {
 			continue
 		}
 		// A token may be sitting in d.notify from messages that were
@@ -395,12 +424,30 @@ func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
 	}
 }
 
+// releaseFrom hands the pooled payload buffers of msgs[i:] back to the
+// codec pool. Error exits from the drain loop call it so a poisoned
+// batch does not leak the buffers of the messages it never processed.
+// Releasing by index keeps the pooled pointer and the visible slice
+// element in sync (releasing a copy would leave msgs[i].Data dangling).
+func releaseFrom(msgs []Message, i int) {
+	for ; i < len(msgs); i++ {
+		msgs[i].Release()
+	}
+}
+
 // drain is the begin-of-cycle hook: handle every message that arrived
 // since the last cycle (Figure 5: "checks the content of the message to
 // be possibly exchanged with the driver"), routed to the per-CPU state
 // by the CPU tag stamped at channel ingress.
 func (d *DriverKernel) drain(k *sim.Kernel) {
 	if d.err != nil {
+		// The scheme is already poisoned but the readers may still be
+		// decoding; keep the inbox from pinning pooled buffers forever.
+		d.mu.Lock()
+		stale := d.inbox
+		d.inbox = nil
+		d.mu.Unlock()
+		releaseFrom(stale, 0)
 		return
 	}
 	d.stats.Polls++
@@ -448,11 +495,12 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 			continue
 		}
 		if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			d.err = fmt.Errorf("%s: data socket: %w", c.label, err)
+			d.err = c.errf("data socket: %w", err)
 		}
 	}
 
-	for _, m := range msgs {
+	for i := range msgs {
+		m := msgs[i]
 		c := d.cpus[m.CPU]
 		d.stats.Messages++
 		d.obs.messages.Inc()
@@ -462,7 +510,8 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 			d.obs.writes.Inc()
 			port, ok := c.inPorts[m.Port]
 			if !ok {
-				d.err = fmt.Errorf("%s: WRITE to unknown port %q", c.label, m.Port)
+				d.err = c.errf("WRITE to unknown port %q", m.Port)
+				releaseFrom(msgs, i)
 				return
 			}
 			t := c.targetTime(m.Cycles)
@@ -482,7 +531,8 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 			d.obs.reads.Inc()
 			b, ok := c.outBindings[m.Port]
 			if !ok {
-				d.err = fmt.Errorf("%s: READ of unknown port %q", c.label, m.Port)
+				d.err = c.errf("READ of unknown port %q", m.Port)
+				releaseFrom(msgs, i)
 				return
 			}
 			c.outstanding = false // the guest is alive and asking
@@ -492,8 +542,12 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 			} else {
 				c.pendingReads = append(c.pendingReads, b)
 			}
+			// A READ carries no payload, but a malformed frame might;
+			// releasing here keeps the lifecycle uniform per message.
+			msgs[i].Release()
 		default:
-			d.err = fmt.Errorf("%s: unexpected message type %d from driver", c.label, m.Type)
+			d.err = c.errf("unexpected message type %d from driver", m.Type)
+			releaseFrom(msgs, i)
 			return
 		}
 	}
@@ -503,7 +557,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 // by a DATA_READY interrupt so a WFI-parked guest wakes up.
 func (d *DriverKernel) reply(c *driverCPU, b *binding) {
 	if err := WriteMessage(c.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
-		d.err = fmt.Errorf("%s: data socket (port %q): %w", c.label, b.spec.Port, err)
+		d.err = c.errf("data socket (port %q): %w", b.spec.Port, err)
 		return
 	}
 	b.consumed = b.outPort.Writes()
@@ -529,7 +583,7 @@ func (d *DriverKernel) reply(c *driverCPU, b *binding) {
 func (c *driverCPU) sendInterrupt(id uint32) error {
 	binary.LittleEndian.PutUint32(c.irqBuf[:], id)
 	if _, err := c.irqW.Write(c.irqBuf[:]); err != nil {
-		return fmt.Errorf("%s: interrupt socket (int %d): %w", c.label, id, err)
+		return c.errf("interrupt socket (int %d): %w", id, err)
 	}
 	return nil
 }

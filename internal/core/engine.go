@@ -102,6 +102,13 @@ func (e *gdbEngine) debugf(format string, args ...any) {
 	}
 }
 
+// errf builds a scheme error prefixed with the scheme's canonical name
+// ("gdb-kernel: ..." / "gdb-wrapper: ...") so failures in a mixed run
+// identify the scheme that raised them.
+func (e *gdbEngine) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: "+format, append([]any{any(e.schemeName)}, args...)...)
+}
+
 // Name returns the scheme's canonical name.
 func (e *gdbEngine) Name() string { return e.schemeName }
 
@@ -129,7 +136,7 @@ func (e *gdbEngine) targetTime(cycles uint64) sim.Time {
 	if e.period == 0 {
 		return e.k.Now()
 	}
-	return e.syncTime + sim.Time(cycles-e.syncCycles)*e.period
+	return e.syncTime.AddCycles(cycles-e.syncCycles, e.period)
 }
 
 // handleStop services a breakpoint stop. It reads the full register
@@ -149,7 +156,7 @@ func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
 		e.obs.watchHits.Inc()
 		b = e.byWatch[ev.WatchAddr]
 		if b == nil {
-			return false, fmt.Errorf("core: watchpoint hit at unbound address %#x", ev.WatchAddr)
+			return false, e.errf("watchpoint hit at unbound address %#x", ev.WatchAddr)
 		}
 	} else {
 		e.obs.breakHits.Inc()
@@ -157,7 +164,7 @@ func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
 	}
 	e.debugf("stop pc=%#x cycles=%d sync=(%d,%v) now=%v", regs.PC, regs.Cycles, e.syncCycles, e.syncTime, e.k.Now())
 	if b == nil {
-		return false, fmt.Errorf("core: ISS stopped at unbound address %#x", regs.PC)
+		return false, e.errf("ISS stopped at unbound address %#x", regs.PC)
 	}
 
 	if b.inPort != nil {
@@ -170,7 +177,7 @@ func (e *gdbEngine) handleStop(ev *gdb.StopEvent) (bool, error) {
 		t := e.targetTime(regs.Cycles)
 		port := b.inPort
 		e.k.CallAt(t, func() { port.Deliver(data) })
-		if t > e.k.Now() {
+		if t.After(e.k.Now()) {
 			e.syncTime = t
 		} else {
 			e.syncTime = e.k.Now()
@@ -226,7 +233,7 @@ func (e *gdbEngine) pokeOut(b *binding) error {
 // mustBlock reports whether the conservative skew bound requires the
 // scheme to wait (in wall time) for the ISS before advancing further.
 func (e *gdbEngine) mustBlock() bool {
-	return e.skewBound != 0 && e.outstanding && e.k.Now() >= e.outSince+e.skewBound
+	return e.skewBound != 0 && e.outstanding && e.k.Now().AtOrAfter(e.outSince.Add(e.skewBound))
 }
 
 // retryWaiting re-checks a pending iss_out wait; returns true when the

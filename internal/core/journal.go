@@ -30,9 +30,9 @@ func (e JournalEntry) String() string {
 // Safe for concurrent use.
 type Journal struct {
 	mu      sync.Mutex
-	entries []JournalEntry
-	limit   int
-	dropped uint64
+	entries []JournalEntry // guarded by mu
+	limit   int            // guarded by mu (set once in NewJournal)
+	dropped uint64         // guarded by mu
 }
 
 // NewJournal creates a journal keeping at most limit entries

@@ -461,7 +461,7 @@ func Run(p Params) (*Result, error) {
 		res.Received += cn.Received
 		res.BadContent += cn.BadContent
 		res.Misrouted += cn.Misrouted
-		lat += cn.TotalLat
+		lat = lat.Add(cn.TotalLat)
 	}
 	if res.Received > 0 {
 		res.MeanLat = lat / sim.Time(res.Received)

@@ -133,7 +133,7 @@ const (
 	CauseEBreak  = 2
 	CauseIllegal = 3
 	CauseAlign   = 4
-	CauseBus     = 5 // bus error: access to an unmapped or rejecting address
+	CauseBus     = 5  // bus error: access to an unmapped or rejecting address
 	CauseIRQBase = 16 // cause for external IRQ n is CauseIRQBase+n
 )
 

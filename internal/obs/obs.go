@@ -196,15 +196,15 @@ type SpanEvent struct {
 // guards at the instrumentation sites.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 
 	evMu    sync.Mutex
-	events  []SpanEvent // ring buffer, evCap entries
-	evNext  int
-	evCap   int
-	evTotal uint64
+	events  []SpanEvent // ring buffer, evCap entries; guarded by evMu
+	evNext  int         // guarded by evMu
+	evCap   int         // guarded by evMu
+	evTotal uint64      // guarded by evMu
 }
 
 // NewRegistry creates an empty registry.

@@ -126,7 +126,7 @@ func NewConsumer(k *sim.Kernel, name string, out int, q *sim.Fifo[*Packet], rout
 			if !routeOK(pkt.Dst, out) {
 				c.Misrouted++
 			}
-			c.TotalLat += ctx.Now() - pkt.Born
+			c.TotalLat = c.TotalLat.Add(ctx.Now().Sub(pkt.Born))
 		}
 	})
 	return c

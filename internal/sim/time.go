@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 	"strings"
 )
@@ -36,6 +37,50 @@ const (
 
 // MaxTime is the largest representable simulation time.
 const MaxTime Time = ^Time(0)
+
+// Time is an unsigned 64-bit picosecond count, so raw `+`/`-` wrap
+// silently on overflow and raw `<` misorders wrapped values — the bug
+// class behind the PR 1 targetTime regression. Code outside this
+// package must use the saturating helpers below instead of raw
+// arithmetic; the `timesafe` analyzer (cmd/cosimvet) enforces that.
+
+// Add returns t+d, saturating at MaxTime instead of wrapping.
+func (t Time) Add(d Time) Time {
+	s := t + d
+	if s < t {
+		return MaxTime
+	}
+	return s
+}
+
+// Sub returns t-u, saturating at zero when u is later than t.
+func (t Time) Sub(u Time) Time {
+	if u > t {
+		return 0
+	}
+	return t - u
+}
+
+// AddCycles returns t + n*period, saturating at MaxTime when the cycle
+// span (or the sum) overflows the picosecond range. It is the
+// wraparound-safe form of the cycle→time coupling the co-simulation
+// schemes apply on every guest message.
+func (t Time) AddCycles(n uint64, period Time) Time {
+	hi, lo := bits.Mul64(n, uint64(period))
+	if hi != 0 {
+		return MaxTime
+	}
+	return t.Add(Time(lo))
+}
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// AtOrAfter reports whether t is no earlier than u.
+func (t Time) AtOrAfter(u Time) bool { return t >= u }
 
 // String formats the time using the largest unit that divides it evenly,
 // e.g. "25ns" or "1500ps".

@@ -72,3 +72,54 @@ func TestTimeRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTimeSaturatingHelpers(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Time
+		want Time
+	}{
+		{"add", Time(3).Add(4), 7},
+		{"add-saturates", MaxTime.Add(1), MaxTime},
+		{"add-near-max", (MaxTime - 2).Add(5), MaxTime},
+		{"sub", Time(7).Sub(4), 3},
+		{"sub-saturates", Time(4).Sub(7), 0},
+		{"addcycles", Time(10).AddCycles(3, 5*PS), 25},
+		{"addcycles-zero-period", Time(10).AddCycles(1<<40, 0), 10},
+		{"addcycles-mul-overflow", Time(0).AddCycles(1<<63, 4*PS), MaxTime},
+		{"addcycles-sum-overflow", (MaxTime - 1).AddCycles(1, 2*PS), MaxTime},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, uint64(c.got), uint64(c.want))
+		}
+	}
+}
+
+func TestTimeOrderingHelpers(t *testing.T) {
+	if !Time(1).Before(2) || Time(2).Before(2) || Time(3).Before(2) {
+		t.Error("Before misordered")
+	}
+	if Time(1).After(2) || Time(2).After(2) || !Time(3).After(2) {
+		t.Error("After misordered")
+	}
+	if Time(1).AtOrAfter(2) || !Time(2).AtOrAfter(2) || !Time(3).AtOrAfter(2) {
+		t.Error("AtOrAfter misordered")
+	}
+}
+
+// Saturation invariants hold for arbitrary operands: Add never ends up
+// below either operand, and Sub never exceeds the minuend.
+func TestTimeSaturationProperties(t *testing.T) {
+	add := func(a, b uint64) bool {
+		s := Time(a).Add(Time(b))
+		return s >= Time(a) && s >= Time(b)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+	sub := func(a, b uint64) bool { return Time(a).Sub(Time(b)) <= Time(a) }
+	if err := quick.Check(sub, nil); err != nil {
+		t.Error(err)
+	}
+}
