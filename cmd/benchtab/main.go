@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
-//	         [-scheme NAME] [-cpus N] [-transport tcp|pipe]
+//	         [-scheme NAME] [-cpus N] [-transport tcp|unix|ring|pipe]
 //	         [-parallel N] [-json]
 //
 // -full uses the paper-scale simulated durations (slow); the default
@@ -14,6 +14,10 @@
 // -scheme restricts the sweep to a single scheme; the folded
 // table/figure artifacts need the full sweep, so a filtered run emits
 // only the per-run records.
+// -transport selects the IPC backend; a comma list (or "all") sweeps
+// several backends in one invocation, tagging each scenario with
+// /tr=NAME and emitting per-run records only (the folded artifacts are
+// single-transport by construction).
 // -cpus sweeps a multi-processor SoC: the router's checksum work is
 // partitioned across N guest CPUs. Only gdb-kernel and driver-kernel
 // drive more than one CPU, so a multi-CPU Table 1 sweep drops the
@@ -69,7 +73,7 @@ func main() {
 	times := flag.String("times", "", "comma-separated simulated durations for Table 1 (overrides -full)")
 	sel := harness.Scheme(-1) // sentinel: no filter
 	flag.Var(&sel, "scheme", "restrict the sweep to one scheme (default: all)")
-	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
+	transport := flag.String("transport", "tcp", `IPC transport: tcp, unix, ring or pipe; a comma list or "all" sweeps several`)
 	delay := flag.String("delay", "20us", "inter-packet delay for Table 1")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (gdb-kernel and driver-kernel)")
@@ -78,17 +82,15 @@ func main() {
 	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
 	flag.Parse()
 
-	tr := core.TransportTCP
-	trName := "tcp"
-	if *transport == "pipe" {
-		tr = core.TransportPipe
-		trName = "pipe"
+	trs, err := parseTransports(*transport)
+	if err != nil {
+		fatal(err)
 	}
 	d, err := sim.ParseTime(*delay)
 	if err != nil {
 		fatal(err)
 	}
-	base := harness.Params{Transport: tr, Delay: d, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
+	base := harness.Params{Delay: d, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
 	if *cpus > 1 {
 		if sel >= 0 && !sel.SupportsMultiCPU() {
 			fatal(fmt.Errorf("scheme %v drives a single CPU; -cpus %d needs gdb-kernel or driver-kernel", sel, *cpus))
@@ -111,24 +113,28 @@ func main() {
 		}
 	}
 
+	names := make([]string, len(trs))
+	for i, tr := range trs {
+		names[i] = core.TransportName(tr)
+	}
 	rep := &report{
 		Experiment:  *exp,
-		Transport:   trName,
+		Transport:   strings.Join(names, ","),
 		Parallel:    *parallel,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 
 	switch *exp {
 	case "table1":
-		runTable1(rep, simTimes, base, sel, *parallel, *jsonOut)
+		runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
 	case "figure7":
-		runFigure7(rep, base, sel, *parallel, *jsonOut)
+		runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
 	case "loc":
 		runLoC(rep, *jsonOut)
 	case "all":
-		runTable1(rep, simTimes, base, sel, *parallel, *jsonOut)
+		runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
 		sep(*jsonOut)
-		runFigure7(rep, base, sel, *parallel, *jsonOut)
+		runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
 		sep(*jsonOut)
 		runLoC(rep, *jsonOut)
 	default:
@@ -150,69 +156,115 @@ func sep(jsonOut bool) {
 	}
 }
 
-func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, workers int, jsonOut bool) {
-	scens := filterScenarios(harness.Table1Scenarios(simTimes, base), sel)
-	scens = filterMultiCPU(scens, base.CPUs)
-	outs := harness.RunAll(scens, workers)
-	collectRuns(rep, outs)
-	if sel >= 0 || base.CPUs > 1 {
-		// The folded table needs every scheme's column; a filtered or
-		// multi-CPU sweep (which drops the single-CPU GDB-Wrapper
-		// baseline) reports per-run records only.
-		if err := harness.FirstError(outs); err != nil {
+// parseTransports resolves the -transport flag value: one backend name,
+// a comma list, or "all".
+func parseTransports(arg string) ([]core.Transport, error) {
+	if strings.TrimSpace(strings.ToLower(arg)) == "all" {
+		return core.Transports(), nil
+	}
+	var trs []core.Transport
+	for _, name := range strings.Split(arg, ",") {
+		tr, err := core.ParseTransport(name)
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+	if len(trs) == 0 {
+		return nil, fmt.Errorf("empty -transport value")
+	}
+	return trs, nil
+}
+
+// tagTransport suffixes scenario names with /tr=NAME so records from a
+// multi-transport sweep stay distinguishable.
+func tagTransport(scens []harness.Scenario, tr core.Transport) []harness.Scenario {
+	for i := range scens {
+		scens[i].Name += "/tr=" + core.TransportName(tr)
+	}
+	return scens
+}
+
+func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, trs []core.Transport, workers int, jsonOut bool) {
+	multiTr := len(trs) > 1
+	for _, tr := range trs {
+		b := base
+		b.Transport = tr
+		scens := filterScenarios(harness.Table1Scenarios(simTimes, b), sel)
+		scens = filterMultiCPU(scens, b.CPUs)
+		if multiTr {
+			scens = tagTransport(scens, tr)
+		}
+		outs := harness.RunAll(scens, workers)
+		collectRuns(rep, outs)
+		if sel >= 0 || b.CPUs > 1 || multiTr {
+			// The folded table needs every scheme's column in exact
+			// sweep order; a filtered, multi-CPU (which drops the
+			// single-CPU GDB-Wrapper baseline) or multi-transport sweep
+			// reports per-run records only.
+			if err := harness.FirstError(outs); err != nil {
+				fatal(err)
+			}
+			if !jsonOut {
+				printRuns(outs)
+			}
+			continue
+		}
+		rows, err := harness.Table1Rows(simTimes, outs)
+		if err != nil {
 			fatal(err)
 		}
+		for _, r := range rows {
+			tj := table1JSON{Scheme: r.Scheme.String()}
+			for _, w := range r.Wall {
+				tj.WallNS = append(tj.WallNS, w.Nanoseconds())
+			}
+			rep.Table1 = append(rep.Table1, tj)
+		}
 		if !jsonOut {
-			printRuns(outs)
+			harness.PrintTable1(os.Stdout, simTimes, rows)
 		}
-		return
-	}
-	rows, err := harness.Table1Rows(simTimes, outs)
-	if err != nil {
-		fatal(err)
-	}
-	for _, r := range rows {
-		tj := table1JSON{Scheme: r.Scheme.String()}
-		for _, w := range r.Wall {
-			tj.WallNS = append(tj.WallNS, w.Nanoseconds())
-		}
-		rep.Table1 = append(rep.Table1, tj)
-	}
-	if !jsonOut {
-		harness.PrintTable1(os.Stdout, simTimes, rows)
 	}
 }
 
-func runFigure7(rep *report, base harness.Params, sel harness.Scheme, workers int, jsonOut bool) {
+func runFigure7(rep *report, base harness.Params, sel harness.Scheme, trs []core.Transport, workers int, jsonOut bool) {
 	delays := []sim.Time{5 * sim.US, 10 * sim.US, 20 * sim.US, 30 * sim.US, 50 * sim.US, 100 * sim.US}
 	base.SimTime = 2 * sim.MS
-	scens := filterScenarios(harness.Figure7Scenarios(delays, base), sel)
-	outs := harness.RunAll(scens, workers)
-	collectRuns(rep, outs)
-	if sel >= 0 {
-		if err := harness.FirstError(outs); err != nil {
+	multiTr := len(trs) > 1
+	for _, tr := range trs {
+		b := base
+		b.Transport = tr
+		scens := filterScenarios(harness.Figure7Scenarios(delays, b), sel)
+		if multiTr {
+			scens = tagTransport(scens, tr)
+		}
+		outs := harness.RunAll(scens, workers)
+		collectRuns(rep, outs)
+		if sel >= 0 || multiTr {
+			if err := harness.FirstError(outs); err != nil {
+				fatal(err)
+			}
+			if !jsonOut {
+				printRuns(outs)
+			}
+			continue
+		}
+		points, err := harness.Figure7Points(delays, outs)
+		if err != nil {
 			fatal(err)
 		}
-		if !jsonOut {
-			printRuns(outs)
+		for _, p := range points {
+			rep.Figure7 = append(rep.Figure7, figure7JSON{
+				Delay:        p.Delay.String(),
+				GDBKernelPct: p.GDBKernelPct,
+				DriverPct:    p.DriverPct,
+				GDBLatPS:     uint64(p.GDBLat),
+				DriverLatPS:  uint64(p.DriverLat),
+			})
 		}
-		return
-	}
-	points, err := harness.Figure7Points(delays, outs)
-	if err != nil {
-		fatal(err)
-	}
-	for _, p := range points {
-		rep.Figure7 = append(rep.Figure7, figure7JSON{
-			Delay:        p.Delay.String(),
-			GDBKernelPct: p.GDBKernelPct,
-			DriverPct:    p.DriverPct,
-			GDBLatPS:     uint64(p.GDBLat),
-			DriverLatPS:  uint64(p.DriverLat),
-		})
-	}
-	if !jsonOut {
-		harness.PrintFigure7(os.Stdout, points)
+		if !jsonOut {
+			harness.PrintFigure7(os.Stdout, points)
+		}
 	}
 }
 

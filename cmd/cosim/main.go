@@ -30,7 +30,7 @@ func main() {
 	errRate := flag.Float64("errors", 0.0, "corrupted-packet injection rate [0,1]")
 	mcast := flag.Float64("multicast", 0.0, "broadcast packet rate [0,1]")
 	fifo := flag.Int("fifo", 8, "router FIFO depth")
-	transport := flag.String("transport", "tcp", "IPC transport: tcp or pipe")
+	transport := flag.String("transport", "tcp", "IPC transport: tcp, unix, ring or pipe")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (gdb-kernel and driver-kernel)")
 	vcd := flag.String("vcd", "", "write a VCD trace of queue occupancy to this file")
@@ -47,9 +47,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr := core.TransportTCP
-	if *transport == "pipe" {
-		tr = core.TransportPipe
+	tr, err := core.ParseTransport(*transport)
+	if err != nil {
+		fatal(err)
 	}
 
 	// One registry for the whole run: the schemes count into it live,

@@ -1,4 +1,4 @@
-// Package suite bundles the five cosimvet analyzers. cmd/cosimvet and
+// Package suite bundles the six cosimvet analyzers. cmd/cosimvet and
 // the repo-wide cleanliness test both consume this list, so adding a
 // rule here wires it into the CLI and CI in one step.
 package suite
@@ -10,6 +10,7 @@ import (
 	"cosim/internal/analysis/poolsafe"
 	"cosim/internal/analysis/schemeerr"
 	"cosim/internal/analysis/timesafe"
+	"cosim/internal/analysis/transportclose"
 )
 
 // Analyzers returns the full cosimvet rule set in stable order.
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		poolsafe.Analyzer,
 		schemeerr.Analyzer,
 		timesafe.Analyzer,
+		transportclose.Analyzer,
 	}
 }
 

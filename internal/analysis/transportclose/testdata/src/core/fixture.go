@@ -1,0 +1,50 @@
+// Package fixturecore mirrors the shape of scheme teardown code: a
+// channel field typed as the transport's least common denominator
+// (io.ReadWriter) whose close path must use io.Closer, not net.Conn.
+package fixturecore
+
+import (
+	"io"
+	"net"
+)
+
+type channel struct {
+	Data io.ReadWriter
+	IRQ  io.Writer
+}
+
+func (c *channel) badAssert() {
+	if conn, ok := c.Data.(net.Conn); ok { // want `net.Conn type assertion`
+		_ = conn.Close()
+	}
+}
+
+func (c *channel) badSwitch() {
+	switch v := c.IRQ.(type) {
+	case net.Conn: // want `net.Conn case in a channel type switch`
+		_ = v.Close()
+	case io.Closer:
+		_ = v.Close()
+	}
+}
+
+func (c *channel) okCloser() {
+	if cl, ok := c.Data.(io.Closer); ok {
+		_ = cl.Close()
+	}
+}
+
+func (c *channel) suppressed() {
+	//cosimvet:ignore transportclose fixture exercises the suppression directive
+	if conn, ok := c.Data.(net.Conn); ok {
+		_ = conn.SetDeadline
+	}
+}
+
+// renamed imports must still be caught.
+func sneaky(rw io.ReadWriter) {
+	type alias = net.Conn
+	if conn, ok := rw.(alias); ok { // want `net.Conn type assertion`
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixturetransport is loaded under an import path inside
+// internal/transport: the backends legitimately distinguish concrete
+// net.Conns, so nothing here is flagged.
+package fixturetransport
+
+import (
+	"io"
+	"net"
+)
+
+func tune(ep io.ReadWriteCloser) {
+	if conn, ok := ep.(net.Conn); ok {
+		_ = conn.SetDeadline
+	}
+	switch ep.(type) {
+	case net.Conn:
+	}
+}

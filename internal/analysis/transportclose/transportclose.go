@@ -1,0 +1,78 @@
+// Package transportclose enforces the transport teardown contract:
+// outside internal/transport, co-simulation channel teardown must reach
+// an endpoint through io.Closer, never through a net.Conn type
+// assertion. The transport layer guarantees only that its endpoints are
+// io.ReadWriteClosers — the ring backend's endpoints are not net.Conns
+// at all — so a `ch.(net.Conn)` gate silently skips the close for
+// non-socket backends and leaks their reader goroutines (the exact bug
+// the Driver-Kernel finalizers shipped with).
+//
+// Scope: every package except those whose import path contains
+// "internal/transport" (the transport backends legitimately handle
+// concrete net.Conns). Inside that scope any type assertion or
+// type-switch case asserting to net.Conn is flagged. A narrower check
+// (SetDeadline on a conn known to be TCP, say) can be suppressed with
+// //cosimvet:ignore transportclose <reason>.
+package transportclose
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "transportclose",
+	Doc:  "flags net.Conn type assertions outside internal/transport; channel teardown must go through io.Closer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.Contains(pass.Pkg.Path(), "internal/transport") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				// n.Type is nil inside `switch x.(type)`; the cases are
+				// handled below.
+				if n.Type != nil && isNetConn(pass, n.Type) {
+					pass.Reportf(n.Pos(), "net.Conn type assertion on a channel value; assert io.Closer instead so non-socket transports tear down too")
+				}
+			case *ast.TypeSwitchStmt:
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, te := range cc.List {
+						if isNetConn(pass, te) {
+							pass.Reportf(te.Pos(), "net.Conn case in a channel type switch; match io.Closer instead so non-socket transports tear down too")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isNetConn reports whether the type expression denotes the net.Conn
+// interface (checked by type identity, so renamed imports are caught).
+func isNetConn(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net" && obj.Name() == "Conn"
+}

@@ -1,0 +1,18 @@
+package transportclose_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/transportclose"
+)
+
+func TestTransportclose(t *testing.T) {
+	analysistest.Run(t, transportclose.Analyzer, "testdata/src/core", "fixture/internal/core/fixture")
+}
+
+// Inside internal/transport the rule does not apply: the backends
+// handle concrete net.Conns by design.
+func TestTransportcloseOutOfScope(t *testing.T) {
+	analysistest.Run(t, transportclose.Analyzer, "testdata/src/transport", "fixture/internal/transport/fixture")
+}

@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
-	"time"
 
 	"cosim/internal/asm"
 	"cosim/internal/dev"
@@ -465,21 +464,24 @@ resp: .word 0
 	_ = target.Wait()
 }
 
-func TestTransportTCPPair(t *testing.T) {
-	h, g, err := connPair(TransportTCP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer h.Close()
-	defer g.Close()
-	go func() { _, _ = h.Write([]byte("ping")) }()
-	buf := make([]byte, 4)
-	_ = g.SetReadDeadline(time.Now().Add(2 * time.Second))
-	if _, err := readFullConn(g, buf); err != nil {
-		t.Fatal(err)
-	}
-	if string(buf) != "ping" {
-		t.Fatalf("got %q", buf)
+func TestConnPairBackends(t *testing.T) {
+	// nil exercises the pipe default alongside every named backend.
+	backends := append([]Transport{nil}, Transports()...)
+	for _, tr := range backends {
+		h, g, err := connPair(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", TransportName(tr), err)
+		}
+		go func() { _, _ = h.Write([]byte("ping")) }()
+		buf := make([]byte, 4)
+		if _, err := readFullConn(g, buf); err != nil {
+			t.Fatalf("%s: %v", TransportName(tr), err)
+		}
+		if string(buf) != "ping" {
+			t.Fatalf("%s: got %q", TransportName(tr), buf)
+		}
+		h.Close()
+		g.Close()
 	}
 }
 

@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"sync"
 	"time"
 
 	"cosim/internal/obs"
 	"cosim/internal/sim"
+	"cosim/internal/transport"
 )
 
 // DriverKernel is the paper's second proposed scheme (§4): the guest OS
@@ -60,6 +60,12 @@ type driverCPU struct {
 
 	dataW io.Writer
 	irqW  io.Writer
+
+	// dataF/irqF are the channels' optional batched-I/O handles,
+	// resolved once at attach time so the per-cycle flush is two nil
+	// checks, not two type assertions. Nil for unbuffered transports.
+	dataF transport.Flusher
+	irqF  transport.Flusher
 
 	// Port routing: the guest names ports without knowing which CPU it
 	// is ("pkt", "csum"); the channel prefix maps those names onto this
@@ -206,6 +212,12 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 			inPorts:     make(map[string]*sim.IssIn),
 			outBindings: make(map[string]*binding),
 		}
+		if f, ok := ch.Data.(transport.Flusher); ok {
+			c.dataF = f
+		}
+		if f, ok := ch.IRQ.(transport.Flusher); ok {
+			c.irqF = f
+		}
 		c.obs.init(opts.Obs, i)
 		for _, s := range ch.Ports {
 			name := s.Port // guest-visible name
@@ -259,11 +271,15 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 			}
 		}(c, ch.Data)
 
-		if conn, ok := ch.Data.(net.Conn); ok {
-			k.AddFinalizer(func() { _ = conn.Close() })
+		// Teardown ownership: the kernel's finalizers close both channel
+		// ends via io.Closer — never via a net.Conn assertion, which
+		// would silently skip non-socket channels (the ring transport, a
+		// custom io.ReadWriter) and leak their reader goroutines forever.
+		if cl, ok := ch.Data.(io.Closer); ok {
+			k.AddFinalizer(func() { _ = cl.Close() })
 		}
-		if conn, ok := ch.IRQ.(net.Conn); ok {
-			k.AddFinalizer(func() { _ = conn.Close() })
+		if cl, ok := ch.IRQ.(io.Closer); ok {
+			k.AddFinalizer(func() { _ = cl.Close() })
 		}
 	}
 
@@ -424,6 +440,25 @@ func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
 	}
 }
 
+// flushChannels pushes batched frames out of Flusher-capable channel
+// ends. Called at the hook boundaries — after the reply loops, before a
+// conservative wait — so a buffered DATA reply or interrupt is never
+// left unsent past a point the guest may block on it.
+func (d *DriverKernel) flushChannels() {
+	for _, c := range d.cpus {
+		if c.dataF != nil {
+			if err := c.dataF.Flush(); err != nil && d.err == nil {
+				d.err = c.errf("data socket flush: %w", err)
+			}
+		}
+		if c.irqF != nil {
+			if err := c.irqF.Flush(); err != nil && d.err == nil {
+				d.err = c.errf("interrupt socket flush: %w", err)
+			}
+		}
+	}
+}
+
 // releaseFrom hands the pooled payload buffers of msgs[i:] back to the
 // codec pool. Error exits from the drain loop call it so a poisoned
 // batch does not leak the buffers of the messages it never processed.
@@ -470,7 +505,10 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 	}
 
 	// Conservative sync: wait for lagging guests instead of letting
-	// simulated time race past an outstanding request.
+	// simulated time race past an outstanding request. Batched replies
+	// must be on the wire first, or the wait would stall on a guest
+	// that is itself waiting for an unflushed frame.
+	d.flushChannels()
 	d.lockstepWait(k)
 
 	d.mu.Lock()
@@ -551,6 +589,7 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 			return
 		}
 	}
+	d.flushChannels()
 }
 
 // reply sends the current iss_out port value as a DATA message followed
@@ -614,4 +653,5 @@ func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
 		c.outstanding = true
 		c.outSince = k.Now()
 	}
+	d.flushChannels()
 }

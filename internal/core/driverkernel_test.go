@@ -454,6 +454,58 @@ func TestRaiseInterruptUnknownCPU(t *testing.T) {
 	}
 }
 
+// closableChannel is a custom channel type that is deliberately NOT a
+// net.Conn: just an io.ReadWriter with a Close. The regression below
+// guards the finalizer fix — teardown must go through io.Closer, so a
+// user-supplied channel like this one is closed at Shutdown and its
+// reader goroutine terminates.
+type closableChannel struct {
+	r      *io.PipeReader
+	w      *io.PipeWriter
+	closed atomic.Bool
+}
+
+func newClosableChannel() (*closableChannel, *io.PipeWriter, *io.PipeReader) {
+	// guestW feeds the channel's reads; guestR sees the channel's writes.
+	r, guestW := io.Pipe()
+	guestR, w := io.Pipe()
+	return &closableChannel{r: r, w: w}, guestW, guestR
+}
+
+func (c *closableChannel) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *closableChannel) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *closableChannel) Close() error {
+	c.closed.Store(true)
+	_ = c.w.Close()
+	return c.r.Close()
+}
+
+// TestShutdownClosesNonConnChannels: kernel finalizers must close any
+// channel that implements io.Closer — not only net.Conn — so custom
+// transports tear down cleanly. Reverting the io.Closer finalizer fix
+// makes this test fail (the channel stays open and its reader leaks).
+func TestShutdownClosesNonConnChannels(t *testing.T) {
+	k := sim.NewKernel("t")
+	data, _, _ := newClosableChannel()
+	irq, _, _ := newClosableChannel()
+	d, err := NewDriverKernel(k, data, irq, DriverKernelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if !data.closed.Load() {
+		t.Fatal("data channel not closed at Shutdown — finalizer skipped the non-Conn io.Closer")
+	}
+	if !irq.closed.Load() {
+		t.Fatal("interrupt channel not closed at Shutdown — finalizer skipped the non-Conn io.Closer")
+	}
+	// The reader goroutine must have observed the close and parked a
+	// terminal error.
+	if err := waitReadErr(t, d, 0); err == nil {
+		t.Fatal("reader goroutine never terminated after channel close")
+	}
+}
+
 // TestChannelCountValidation: an explicit CPU count must match the
 // channel count.
 func TestChannelCountValidation(t *testing.T) {

@@ -1,68 +1,83 @@
 package core
 
 import (
-	"fmt"
 	"io"
-	"net"
 	"time"
 
 	"cosim/internal/dev"
 	"cosim/internal/gdb"
 	"cosim/internal/iss"
+	"cosim/internal/obs"
+	"cosim/internal/transport"
 )
 
 // Transport selects how the two simulators are connected. The paper's
-// implementation used host-OS IPC; both an in-process pipe and real
-// loopback TCP (with genuine syscall costs) are supported.
-type Transport int
+// implementation fixed this as host-OS sockets; here it is the
+// pluggable internal/transport abstraction, re-exported so scheme
+// consumers keep their core.Transport spellings. See that package for
+// the backend semantics and the teardown-ownership contract.
+type Transport = transport.Transport
 
-const (
+// Endpoint is one closable end of a co-simulation channel
+// (transport.Endpoint). Every backend's endpoints implement io.Closer,
+// which is the only interface teardown code may rely on.
+type Endpoint = transport.Endpoint
+
+// The built-in transport backends under their historical core names.
+var (
 	// TransportPipe uses net.Pipe (synchronous in-process channel).
-	TransportPipe Transport = iota
+	TransportPipe = transport.Pipe
 	// TransportTCP uses a loopback TCP connection.
-	TransportTCP
+	TransportTCP = transport.TCP
+	// TransportUnix uses a Unix domain socket.
+	TransportUnix = transport.Unix
+	// TransportRing uses in-process ring buffers — the same-process
+	// fast path that skips the socket layer entirely.
+	TransportRing = transport.Ring
 )
 
-// connPair creates a connected pair using the chosen transport.
-func connPair(tr Transport) (host, guest net.Conn, err error) {
-	switch tr {
-	case TransportPipe:
-		host, guest = net.Pipe()
-		return host, guest, nil
-	case TransportTCP:
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, nil, err
-		}
-		defer ln.Close()
-		type res struct {
-			c   net.Conn
-			err error
-		}
-		ch := make(chan res, 1)
-		go func() {
-			c, err := ln.Accept()
-			ch <- res{c, err}
-		}()
-		guest, err = net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			return nil, nil, err
-		}
-		r := <-ch
-		if r.err != nil {
-			guest.Close()
-			return nil, nil, r.err
-		}
-		return r.c, guest, nil
+// Transports lists the built-in backends in sweep order.
+func Transports() []Transport { return transport.All() }
+
+// ParseTransport resolves a transport backend by flag name
+// (tcp, unix, ring, pipe).
+func ParseTransport(name string) (Transport, error) { return transport.Parse(name) }
+
+// TransportName names tr for reports and scenario labels, mapping the
+// nil default to the pipe backend.
+func TransportName(tr Transport) string {
+	if tr == nil {
+		return transport.Pipe.Name()
 	}
-	return nil, nil, fmt.Errorf("core: unknown transport %d", tr)
+	return tr.Name()
+}
+
+// ObservedTransport wraps tr so the endpoint pairs it creates count
+// transport.<name>.{pairs,tx_bytes,rx_bytes} into reg. Nil-safe on both
+// arguments; a nil transport resolves to the pipe default first.
+func ObservedTransport(tr Transport, reg *obs.Registry) Transport {
+	if tr == nil {
+		tr = transport.Pipe
+	}
+	return transport.Observed(tr, reg)
+}
+
+// connPair creates a connected endpoint pair using the chosen
+// transport; nil selects the in-process pipe default.
+func connPair(tr Transport) (host, guest Endpoint, err error) {
+	if tr == nil {
+		tr = transport.Pipe
+	}
+	return tr.Pair()
 }
 
 // shutdownClient stops a possibly-running target and tears the
 // connection down: break-in (0x03) if a continue is outstanding, then
 // kill. Without the break-in, a stub running a non-terminating guest
 // would spin forever — it only watches for the interrupt byte while
-// executing, like a real gdbserver.
+// executing, like a real gdbserver. The close goes through io.Closer,
+// never a net.Conn assertion, so every transport backend's reader
+// goroutines terminate.
 func shutdownClient(cl *gdb.Client, conn io.ReadWriter) {
 	if cl.Running() {
 		_ = cl.Interrupt()
@@ -84,7 +99,7 @@ type GDBTarget struct {
 	CPU  *iss.CPU
 	Stub *gdb.Stub
 	// HostConn is the kernel-side end of the RSP connection.
-	HostConn net.Conn
+	HostConn Endpoint
 
 	served chan error
 }
@@ -114,13 +129,13 @@ func (t *GDBTarget) Wait() error { return <-t.served }
 type DriverTarget struct {
 	Platform *dev.Platform
 	// DataHost and IRQHost are the kernel-side ends.
-	DataHost net.Conn
-	IRQHost  net.Conn
+	DataHost Endpoint
+	IRQHost  Endpoint
 }
 
-// ConnectDriverTarget wires a platform's CosimDev to a fresh socket
-// pair per §4.1: the data socket ("port 4444") and the interrupt socket
-// ("port 4445").
+// ConnectDriverTarget wires a platform's CosimDev to a fresh channel
+// pair per §4.1: the data channel ("port 4444") and the interrupt
+// channel ("port 4445").
 func ConnectDriverTarget(p *dev.Platform, tr Transport) (*DriverTarget, error) {
 	dataHost, dataGuest, err := connPair(tr)
 	if err != nil {

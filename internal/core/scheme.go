@@ -72,7 +72,10 @@ type Config struct {
 
 	// GDB schemes: the RSP connection to the ISS stub and the guest
 	// image (symbols + line table) the variable bindings resolve
-	// against.
+	// against. Teardown ownership: when Conn implements io.Closer (all
+	// transport backends do), the kernel's finalizers close it at
+	// Shutdown so the stub and client reader goroutines terminate; a
+	// plain io.ReadWriter is left to the caller.
 	Conn     io.ReadWriter
 	Image    *asm.Image
 	Bindings []VarBinding
@@ -83,9 +86,13 @@ type Config struct {
 	InstrPerCycle uint64
 
 	// Driver-Kernel: the kernel-side ends of the data and interrupt
-	// sockets, and the iss_in/iss_out ports the driver may address.
+	// channels, and the iss_in/iss_out ports the driver may address.
 	// These three fields describe a single CPU; multi-processor
-	// attachments declare one Channel per CPU instead.
+	// attachments declare one Channel per CPU instead. Channel ends
+	// that implement io.Closer are closed by the kernel's finalizers at
+	// Shutdown (terminating their reader goroutines); ends that
+	// implement transport.Flusher get their batched frames flushed at
+	// every cycle-hook boundary.
 	Data  io.ReadWriter
 	IRQ   io.Writer
 	Ports []VarBinding

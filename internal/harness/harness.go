@@ -89,7 +89,11 @@ func (s Scheme) SupportsMultiCPU() bool { return s == GDBKernel || s == DriverKe
 
 // Params configures one co-simulation run of the router case study.
 type Params struct {
-	Scheme    Scheme
+	Scheme Scheme
+	// Transport selects the IPC backend connecting the two simulators
+	// (core.TransportTCP/Unix/Ring/Pipe); nil means the in-process pipe
+	// default. Run wraps it with core.ObservedTransport, so every run's
+	// registry carries transport.<name>.{pairs,tx_bytes,rx_bytes}.
 	Transport core.Transport
 
 	// SimTime is the simulated duration to execute.
@@ -229,6 +233,9 @@ func Run(p Params) (*Result, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// All channel pairs below go through the observed transport so the
+	// run's registry records per-backend pair and byte counters.
+	tr := core.ObservedTransport(p.Transport, reg)
 	k := sim.NewKernel("soc")
 	clk := sim.NewClock(k, "clk", p.ClockPeriod)
 
@@ -274,7 +281,7 @@ func Run(p Params) (*Result, error) {
 				cpu.SetDecodeCacheEnabled(false)
 			}
 			cpu.Reset(im.Entry)
-			target, err := core.StartGDBTarget(cpu, p.Transport)
+			target, err := core.StartGDBTarget(cpu, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -320,7 +327,7 @@ func Run(p Params) (*Result, error) {
 				return nil, err
 			}
 			plat.CPU.Reset(im.Entry)
-			target, err := core.ConnectDriverTarget(plat, p.Transport)
+			target, err := core.ConnectDriverTarget(plat, tr)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosim/internal/core"
+	"cosim/internal/sim"
+)
+
+// settledGoroutines samples the goroutine count until it holds still,
+// so goroutines from earlier tests that are still winding down don't
+// pollute the baseline.
+func settledGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m == n {
+			return n
+		}
+		n = m
+	}
+	return n
+}
+
+// waitGoroutineBaseline polls until the live goroutine count is back at
+// (or below) the pre-run baseline, failing with a full stack dump if it
+// never gets there: those stacks are the leaked reader goroutines.
+func waitGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			dumped := runtime.Stack(buf, true)
+			t.Fatalf("%d goroutines alive 5s after Run returned (baseline %d) — teardown leaked:\n%s",
+				n, baseline, buf[:dumped])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunLeaksNoGoroutines is the teardown regression test for the
+// transport layer: every scheme attached over every backend must leave
+// no goroutine behind once Run returns. The kernel's finalizers close
+// each channel end through io.Closer — were they to assert net.Conn
+// instead, the ring backend's endpoints (not net.Conns) would stay
+// open, their reader goroutines would stay parked, and this test would
+// fail on the ring cases with their stacks in the failure output.
+func TestRunLeaksNoGoroutines(t *testing.T) {
+	transports := append([]core.Transport{nil}, core.Transports()...)
+	for _, s := range Schemes {
+		for _, tr := range transports {
+			label := "default"
+			if tr != nil {
+				label = core.TransportName(tr)
+			}
+			t.Run(fmt.Sprintf("%v/%s", s, label), func(t *testing.T) {
+				baseline := settledGoroutines()
+				if _, err := Run(Params{Scheme: s, Transport: tr, SimTime: 200 * sim.US}); err != nil {
+					t.Fatal(err)
+				}
+				waitGoroutineBaseline(t, baseline)
+			})
+		}
+	}
+
+	// The multi-processor Driver-Kernel attachment owns 2N channel ends
+	// plus N RTOS runners; tear it down over the ring backend, whose
+	// endpoints only io.Closer reaches.
+	t.Run("Driver-Kernel/ring/cpus=2", func(t *testing.T) {
+		baseline := settledGoroutines()
+		if _, err := Run(Params{Scheme: DriverKernel, Transport: core.TransportRing, SimTime: 200 * sim.US, CPUs: 2}); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutineBaseline(t, baseline)
+	})
+}

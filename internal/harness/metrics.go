@@ -1,6 +1,10 @@
 package harness
 
-import "time"
+import (
+	"time"
+
+	"cosim/internal/core"
+)
 
 // Metrics is the machine-readable per-run measurement record emitted by
 // `benchtab -json`: the substrate the bench trajectory (BENCH_*.json)
@@ -9,6 +13,7 @@ import "time"
 // the report trivially parseable.
 type Metrics struct {
 	Scheme       string  `json:"scheme"`
+	Transport    string  `json:"transport"`
 	CPUs         int     `json:"cpus"`
 	SimTime      string  `json:"sim_time"`
 	Delay        string  `json:"delay"`
@@ -38,6 +43,7 @@ type Metrics struct {
 func (r *Result) Metrics() Metrics {
 	m := Metrics{
 		Scheme:       r.Params.Scheme.String(),
+		Transport:    core.TransportName(r.Params.Transport),
 		CPUs:         r.Params.CPUs,
 		SimTime:      r.Params.SimTime.String(),
 		Delay:        r.Params.Delay.String(),

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ringBufSize is the per-direction buffer capacity. Sized so a burst of
+// co-simulation frames (messages are tens of bytes) never blocks the
+// writer in practice; a full ring degrades to blocking, not to loss.
+const ringBufSize = 64 << 10
+
+// ringBuf is a bounded byte queue with blocking Read/Write — one
+// direction of a ring endpoint pair. A mutex plus two condition
+// variables keeps it simple and race-free; the win over sockets is
+// skipping the syscall and protocol stack, not lock elision.
+type ringBuf struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond // data arrived, or the ring closed
+	notFull  sync.Cond // space freed, or the ring closed
+	buf      []byte
+	r        int // read index
+	n        int // bytes buffered
+	closed   bool
+}
+
+func newRingBuf(size int) *ringBuf {
+	rb := &ringBuf{buf: make([]byte, size)}
+	rb.notEmpty.L = &rb.mu
+	rb.notFull.L = &rb.mu
+	return rb
+}
+
+// read blocks until data is available or the ring is closed; a closed
+// ring drains its buffered bytes and then reports io.EOF.
+func (rb *ringBuf) read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	for rb.n == 0 && !rb.closed {
+		rb.notEmpty.Wait()
+	}
+	if rb.n == 0 {
+		return 0, io.EOF
+	}
+	n := min(len(p), rb.n)
+	// Up to two copies around the wrap point.
+	first := min(n, len(rb.buf)-rb.r)
+	copy(p, rb.buf[rb.r:rb.r+first])
+	copy(p[first:], rb.buf[:n-first])
+	rb.r = (rb.r + n) % len(rb.buf)
+	rb.n -= n
+	rb.notFull.Broadcast()
+	return n, nil
+}
+
+// write blocks while the ring is full; writing to a closed ring fails
+// with io.ErrClosedPipe (reporting how much was queued first).
+func (rb *ringBuf) write(p []byte) (int, error) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for rb.n == len(rb.buf) && !rb.closed {
+			rb.notFull.Wait()
+		}
+		if rb.closed {
+			return total, io.ErrClosedPipe
+		}
+		n := min(len(p), len(rb.buf)-rb.n)
+		w := (rb.r + rb.n) % len(rb.buf)
+		first := min(n, len(rb.buf)-w)
+		copy(rb.buf[w:], p[:first])
+		copy(rb.buf, p[first:n])
+		rb.n += n
+		total += n
+		p = p[n:]
+		rb.notEmpty.Broadcast()
+	}
+	return total, nil
+}
+
+// close marks the ring closed and wakes every blocked reader and
+// writer. Idempotent.
+func (rb *ringBuf) close() {
+	rb.mu.Lock()
+	rb.closed = true
+	rb.notEmpty.Broadcast()
+	rb.notFull.Broadcast()
+	rb.mu.Unlock()
+}
+
+// ringEndpoint is one end of a ring pair: it reads from one direction's
+// ring and writes into the other's.
+type ringEndpoint struct {
+	rd *ringBuf
+	wr *ringBuf
+}
+
+func (e *ringEndpoint) Read(p []byte) (int, error)  { return e.rd.read(p) }
+func (e *ringEndpoint) Write(p []byte) (int, error) { return e.wr.write(p) }
+
+// Close closes both directions: this side's own blocked Read returns,
+// the peer's pending reads drain then see io.EOF, and the peer's
+// writes fail — the property the kernel's teardown finalizers rely on
+// to terminate reader goroutines deterministically.
+func (e *ringEndpoint) Close() error {
+	e.rd.close()
+	e.wr.close()
+	return nil
+}
+
+// ringTransport is the in-process ring-buffer backend.
+type ringTransport struct{}
+
+func (ringTransport) Name() string { return "ring" }
+
+func (ringTransport) Pair() (host, guest Endpoint, err error) {
+	toGuest := newRingBuf(ringBufSize)
+	toHost := newRingBuf(ringBufSize)
+	host = &ringEndpoint{rd: toHost, wr: toGuest}
+	guest = &ringEndpoint{rd: toGuest, wr: toHost}
+	return host, guest, nil
+}
+
+// ringListeners is the process-global address registry behind the ring
+// backend's dial/listen half: Listen allocates a "ring:N" address,
+// Dial builds a fresh pair and hands the host end to the listener.
+var ringListeners struct {
+	mu   sync.Mutex
+	next int
+	open map[string]*ringListener
+}
+
+type ringListener struct {
+	addr string
+	ch   chan Endpoint
+	done chan struct{}
+	once sync.Once
+}
+
+func (ringTransport) Listen() (Listener, error) {
+	ringListeners.mu.Lock()
+	defer ringListeners.mu.Unlock()
+	if ringListeners.open == nil {
+		ringListeners.open = make(map[string]*ringListener)
+	}
+	ringListeners.next++
+	l := &ringListener{
+		addr: fmt.Sprintf("ring:%d", ringListeners.next),
+		ch:   make(chan Endpoint),
+		done: make(chan struct{}),
+	}
+	ringListeners.open[l.addr] = l
+	return l, nil
+}
+
+func (t ringTransport) Dial(addr string) (Endpoint, error) {
+	ringListeners.mu.Lock()
+	l := ringListeners.open[addr]
+	ringListeners.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: no ring listener at %q", addr)
+	}
+	host, guest, err := t.Pair()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case l.ch <- host:
+		return guest, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: ring listener %s closed", addr)
+	}
+}
+
+func (l *ringListener) Accept() (Endpoint, error) {
+	select {
+	case ep := <-l.ch:
+		return ep, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: ring listener %s closed", l.addr)
+	}
+}
+
+func (l *ringListener) Addr() string { return l.addr }
+
+func (l *ringListener) Close() error {
+	l.once.Do(func() {
+		ringListeners.mu.Lock()
+		delete(ringListeners.open, l.addr)
+		ringListeners.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
