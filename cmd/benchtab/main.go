@@ -6,7 +6,7 @@
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
 //	         [-scheme NAME] [-cpus N] [-transport tcp|unix|ring|pipe]
-//	         [-parallel N] [-json]
+//	         [-parallel N] [-json] [-server URL]
 //
 // -full uses the paper-scale simulated durations (slow); the default
 // uses scaled-down durations with identical workload structure, and
@@ -27,6 +27,12 @@
 // sequential sweep — only total wall time drops. -json replaces the
 // human-readable tables with a machine-readable metrics report (one
 // record per run, plus the folded table/figure data).
+// -server URL switches benchtab into a load driver for a running
+// cosimd: the same scenario matrix is POSTed as session specs with
+// -parallel concurrent clients (absorbing 429 backpressure via
+// Retry-After), each session is polled to a terminal state, and the
+// report carries per-session submit/queue/run/total latencies plus a
+// throughput summary — the BENCH_*_cosimd.json baseline.
 package main
 
 import (
@@ -52,6 +58,12 @@ type report struct {
 	Figure7     []figure7JSON      `json:"figure7,omitempty"`
 	Runs        []harness.Metrics  `json:"runs,omitempty"`
 	LoC         *harness.LoCReport `json:"loc,omitempty"`
+
+	// Server-load mode (-server URL): per-session records and the
+	// aggregate throughput/latency summary.
+	Server     string          `json:"server,omitempty"`
+	Sessions   []serverSession `json:"sessions,omitempty"`
+	ServerLoad *serverSummary  `json:"server_load,omitempty"`
 }
 
 type table1JSON struct {
@@ -80,17 +92,22 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment sweep workers (1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable metrics report")
 	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
+	serverURL := flag.String("server", "", "drive a running cosimd at this base URL instead of simulating in-process")
 	flag.Parse()
 
 	trs, err := parseTransports(*transport)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := sim.ParseTime(*delay)
+	// The scalar flags funnel through the wire-form Spec — the same
+	// validated request shape a cosimd session POST carries. benchtab
+	// sweeps schemes itself, so the base spec carries a placeholder
+	// scheme that every scenario overwrites.
+	baseSpec := harness.Spec{Scheme: "gdb-kernel", Delay: *delay, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
+	base, err := baseSpec.Params()
 	if err != nil {
 		fatal(err)
 	}
-	base := harness.Params{Delay: d, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
 	if *cpus > 1 {
 		if sel >= 0 && !sel.SupportsMultiCPU() {
 			fatal(fmt.Errorf("scheme %v drives a single CPU; -cpus %d needs gdb-kernel or driver-kernel", sel, *cpus))
@@ -124,21 +141,35 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 
-	switch *exp {
-	case "table1":
-		runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
-	case "figure7":
-		runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
-	case "loc":
-		runLoC(rep, *jsonOut)
-	case "all":
-		runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
-		sep(*jsonOut)
-		runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
-		sep(*jsonOut)
-		runLoC(rep, *jsonOut)
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	if *serverURL != "" {
+		rep.Server = *serverURL
+		if err := runServerLoad(rep, *serverURL, *exp, simTimes, base, sel, trs, *parallel, *jsonOut); err != nil {
+			// Emit the partial report before dying so a failed load run
+			// still leaves its evidence.
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(rep)
+			}
+			fatal(err)
+		}
+	} else {
+		switch *exp {
+		case "table1":
+			runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
+		case "figure7":
+			runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
+		case "loc":
+			runLoC(rep, *jsonOut)
+		case "all":
+			runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
+			sep(*jsonOut)
+			runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
+			sep(*jsonOut)
+			runLoC(rep, *jsonOut)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
 	}
 
 	if *jsonOut {

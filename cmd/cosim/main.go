@@ -18,12 +18,10 @@ import (
 	"cosim/internal/core"
 	"cosim/internal/harness"
 	"cosim/internal/obs"
-	"cosim/internal/sim"
 )
 
 func main() {
-	scheme := harness.GDBKernel
-	flag.Var(&scheme, "scheme", "co-simulation scheme: gdb-wrapper, gdb-kernel, driver-kernel")
+	scheme := flag.String("scheme", "gdb-kernel", "co-simulation scheme: gdb-wrapper, gdb-kernel, driver-kernel")
 	simTime := flag.String("time", "10ms", "simulated duration")
 	delay := flag.String("delay", "20us", "inter-packet delay per source")
 	payload := flag.Int("payload", 4, "payload words per packet")
@@ -39,15 +37,22 @@ func main() {
 	expvarAddr := flag.String("expvar", "", "serve live metrics over HTTP on this address (GET /debug/vars)")
 	flag.Parse()
 
-	st, err := sim.ParseTime(*simTime)
-	if err != nil {
-		fatal(err)
+	// The flag surface assembles a wire-form Spec — the same validated
+	// request shape a cosimd session POST carries — and materialises
+	// Params from it.
+	spec := harness.Spec{
+		Scheme:        *scheme,
+		Transport:     *transport,
+		SimTime:       *simTime,
+		Delay:         *delay,
+		PayloadWords:  *payload,
+		ErrorRate:     *errRate,
+		MulticastRate: *mcast,
+		FifoDepth:     *fifo,
+		Seed:          *seed,
+		CPUs:          *cpus,
 	}
-	d, err := sim.ParseTime(*delay)
-	if err != nil {
-		fatal(err)
-	}
-	tr, err := core.ParseTransport(*transport)
+	p, err := spec.Params()
 	if err != nil {
 		fatal(err)
 	}
@@ -55,20 +60,7 @@ func main() {
 	// One registry for the whole run: the schemes count into it live,
 	// so the expvar endpoint shows progress while the simulation runs.
 	reg := obs.NewRegistry()
-
-	p := harness.Params{
-		Scheme:        scheme,
-		Transport:     tr,
-		SimTime:       st,
-		Delay:         d,
-		PayloadWords:  *payload,
-		ErrorRate:     *errRate,
-		MulticastRate: *mcast,
-		FifoDepth:     *fifo,
-		Seed:          *seed,
-		CPUs:          *cpus,
-		Obs:           reg,
-	}
+	p.Obs = reg
 	if *expvarAddr != "" {
 		expvar.Publish("cosim", expvar.Func(func() any { return reg.Snapshot().Flatten() }))
 		ln, err := net.Listen("tcp", *expvarAddr)
@@ -101,7 +93,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("scheme:            %v\n", scheme)
+	fmt.Printf("scheme:            %v\n", p.Scheme)
 	fmt.Printf("simulated time:    %v\n", res.Simulated)
 	fmt.Printf("wall-clock time:   %v\n", res.Wall)
 	fmt.Printf("packets generated: %d (corrupt injected: %d)\n", res.Generated, res.BadSent)

@@ -1,0 +1,101 @@
+// cosimd serves co-simulation as a service: an HTTP/JSON daemon that
+// admits harness.Spec session requests onto a bounded worker pool,
+// exposes per-session lifecycle and live metrics, and drains gracefully
+// on SIGTERM (in-flight sessions finish; new ones get 503).
+//
+// Usage:
+//
+//	cosimd [-addr :8344] [-workers N] [-queue N] [-max-cpus N]
+//	       [-max-simtime 1s] [-session-wall 0] [-retry-after 1s]
+//	       [-drain-timeout 60s]
+//
+// API (see internal/server):
+//
+//	POST   /v1/sessions              admit a spec (429 + Retry-After on saturation)
+//	GET    /v1/sessions              list sessions
+//	GET    /v1/sessions/{id}         session status (+ metrics when done)
+//	DELETE /v1/sessions/{id}         cancel a session
+//	GET    /v1/sessions/{id}/metrics stream live obs counters (NDJSON)
+//	GET    /healthz                  liveness (503 while draining)
+//	GET    /varz                     server-wide counters
+//
+// Exit status: 0 after a clean drain, 1 on listener/serve errors or a
+// drain that exceeds -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosim/internal/server"
+	"cosim/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "HTTP listen address")
+	workers := flag.Int("workers", 0, "session worker-pool size (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond running sessions (default 2x workers)")
+	maxCPUs := flag.Int("max-cpus", 8, "per-session guest-CPU quota")
+	maxSimTime := flag.String("max-simtime", "1s", "per-session simulated-time quota")
+	sessionWall := flag.Duration("session-wall", 0, "per-session wall-clock deadline (0 = none)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight sessions at shutdown")
+	flag.Parse()
+
+	mst, err := sim.ParseTime(*maxSimTime)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxCPUs:     *maxCPUs,
+		MaxSimTime:  mst,
+		SessionWall: *sessionWall,
+		RetryAfter:  *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "cosimd: serving on http://%s\n", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-sigCtx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "cosimd: draining (in-flight sessions finishing, new ones refused)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cosimd: drain timed out; canceling in-flight sessions")
+		_ = srv.Close()
+		_ = hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		_ = hs.Close()
+	}
+	fmt.Fprintln(os.Stderr, "cosimd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosimd:", err)
+	os.Exit(1)
+}

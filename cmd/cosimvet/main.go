@@ -1,7 +1,7 @@
 // Command cosimvet runs the repository's domain-specific static
 // analyzers (poolsafe, timesafe, obsnames, schemeerr, lockedfield,
-// transportclose) over module packages and exits non-zero if any rule
-// fires.
+// transportclose, ctxfirst) over module packages and exits non-zero if
+// any rule fires.
 //
 // Usage:
 //

@@ -5,9 +5,9 @@
 // directives suppress individual findings.
 //
 // The x/tools module is deliberately not a dependency — the repo builds
-// with a bare module cache — so the six cosimvet analyzers (poolsafe,
-// timesafe, obsnames, schemeerr, lockedfield, transportclose) and the
-// cmd/cosimvet multichecker are written against this package instead. The API
+// with a bare module cache — so the seven cosimvet analyzers (poolsafe,
+// timesafe, obsnames, schemeerr, lockedfield, transportclose, ctxfirst)
+// and the cmd/cosimvet multichecker are written against this package instead. The API
 // mirrors go/analysis closely enough that porting to the real framework
 // is a mechanical change if the dependency ever becomes available.
 package analysis

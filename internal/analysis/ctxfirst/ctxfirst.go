@@ -1,0 +1,74 @@
+// Package ctxfirst enforces the context placement convention on the
+// service surface: exported functions and methods in internal/server
+// and internal/harness that accept a context.Context must take it as
+// the first parameter, the stdlib convention (`func F(ctx
+// context.Context, ...)`) that keeps cancellation plumbing uniform
+// across the session-server call chain (handler → Server → RunContext →
+// kernel teardown). A context buried later in the signature is how a
+// call site ends up threading context.Background() "for now" and
+// severing the cancellation path cosimd's DELETE and drain semantics
+// depend on.
+//
+// Scope: packages whose import path contains "internal/server" or
+// "internal/harness"; only exported functions and methods are checked,
+// since the rule is about the API surface other packages build on.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "flags exported server/harness functions taking a context.Context anywhere but first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/server") && !strings.Contains(path, "internal/harness") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			pos := 0
+			for _, field := range fd.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1 // unnamed parameter
+				}
+				if pos > 0 && isContext(pass, field.Type) {
+					pass.Reportf(field.Type.Pos(),
+						"exported %s takes context.Context as parameter %d; a context must be the first parameter",
+						fd.Name.Name, pos+1)
+				}
+				pos += n
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isContext reports whether the type expression denotes context.Context
+// (by type identity, so renamed imports and aliases are caught).
+func isContext(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,17 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/ctxfirst"
+)
+
+func TestCtxfirst(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer, "testdata/src/server", "fixture/internal/server/fixture")
+}
+
+// Outside internal/server and internal/harness the rule does not apply.
+func TestCtxfirstOutOfScope(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer, "testdata/src/other", "fixture/internal/other/fixture")
+}

@@ -1,0 +1,9 @@
+// Fixture for the ctxfirst analyzer: out-of-scope package (import path
+// names neither internal/server nor internal/harness), so nothing is
+// flagged even though the signature buries a context.
+package fixture
+
+import "context"
+
+// RunLast would be flagged inside internal/server; here it is not.
+func RunLast(n int, ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,39 @@
+// Fixture for the ctxfirst analyzer: in-scope package (import path
+// contains internal/server).
+package fixture
+
+import "context"
+
+// RunFirst is fine: the context leads.
+func RunFirst(ctx context.Context, n int) error { return ctx.Err() }
+
+// NoContext is fine: nothing to place.
+func NoContext(a, b int) int { return a + b }
+
+// RunLast buries the context.
+func RunLast(n int, ctx context.Context) error { return ctx.Err() } // want `exported RunLast takes context.Context as parameter 2`
+
+// RunMiddle buries it in the middle of a shared-name field.
+func RunMiddle(a int, b string, ctx context.Context, d bool) {} // want `exported RunMiddle takes context.Context as parameter 3`
+
+// TwoContexts: the first is fine, the second is flagged.
+func TwoContexts(ctx context.Context, other context.Context) {} // want `exported TwoContexts takes context.Context as parameter 2`
+
+// Unexported functions are out of scope: internal helpers may thread
+// contexts however the call chain needs.
+func runLast(n int, ctx context.Context) error { return ctx.Err() }
+
+// Svc carries the method cases.
+type Svc struct{}
+
+// Drain is fine.
+func (s *Svc) Drain(ctx context.Context) error { return ctx.Err() }
+
+// Submit buries the context behind the payload.
+func (s *Svc) Submit(payload []byte, ctx context.Context) error { return ctx.Err() } // want `exported Submit takes context.Context as parameter 2`
+
+// Aliased contexts are caught by type identity, not spelling.
+type myCtx = context.Context
+
+// SubmitAliased hides the context behind an alias.
+func SubmitAliased(n int, ctx myCtx) error { return ctx.Err() } // want `exported SubmitAliased takes context.Context as parameter 2`

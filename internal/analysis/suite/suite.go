@@ -1,10 +1,11 @@
-// Package suite bundles the six cosimvet analyzers. cmd/cosimvet and
+// Package suite bundles the seven cosimvet analyzers. cmd/cosimvet and
 // the repo-wide cleanliness test both consume this list, so adding a
 // rule here wires it into the CLI and CI in one step.
 package suite
 
 import (
 	"cosim/internal/analysis"
+	"cosim/internal/analysis/ctxfirst"
 	"cosim/internal/analysis/lockedfield"
 	"cosim/internal/analysis/obsnames"
 	"cosim/internal/analysis/poolsafe"
@@ -16,6 +17,7 @@ import (
 // Analyzers returns the full cosimvet rule set in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxfirst.Analyzer,
 		lockedfield.Analyzer,
 		obsnames.Analyzer,
 		poolsafe.Analyzer,

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cosim/internal/core"
+	"cosim/internal/sim"
+)
+
+// TestRunContextCancelMidRun: cancellation lands at a cycle boundary,
+// RunContext returns ctx.Err(), and the teardown leaves no goroutine
+// behind (the same baseline discipline as TestRunLeaksNoGoroutines).
+func TestRunContextCancelMidRun(t *testing.T) {
+	for _, s := range Schemes {
+		t.Run(s.String(), func(t *testing.T) {
+			baseline := settledGoroutines()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			// A simulated second of this workload takes far longer than
+			// 30ms of wall clock, so a completed run means the cancel
+			// was ignored.
+			res, err := RunContext(ctx, Params{Scheme: s, Transport: core.TransportRing, SimTime: sim.SEC})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext = (%v, %v), want context.Canceled", res, err)
+			}
+			if wall := time.Since(start); wall > 10*time.Second {
+				t.Errorf("cancellation took %v; not cooperative at cycle granularity", wall)
+			}
+			waitGoroutineBaseline(t, baseline)
+		})
+	}
+}
+
+// TestRunContextAlreadyCanceled: a dead context fails fast, before any
+// guest or channel is built.
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, Params{Scheme: DriverKernel, SimTime: 200 * sim.US})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on canceled ctx = (%v, %v)", res, err)
+	}
+}
+
+// TestRunContextDeadline: a context deadline bounds the run's wall
+// clock the same way an explicit cancel does.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, Params{Scheme: DriverKernel, Transport: core.TransportRing, SimTime: sim.SEC})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCompletesUndisturbed: an un-canceled context changes
+// nothing about a successful run.
+func TestRunContextCompletesUndisturbed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := RunContext(ctx, Params{Scheme: DriverKernel, Transport: core.TransportRing, SimTime: 200 * sim.US})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulated != 200*sim.US {
+		t.Fatalf("simulated %v, want 200us", res.Simulated)
+	}
+}
+
+// TestRunAllContextCancel: a canceled sweep still returns a fully
+// populated outcome slice — completed runs keep their results, the rest
+// carry ctx.Err().
+func TestRunAllContextCancel(t *testing.T) {
+	base := Params{Scheme: DriverKernel, Transport: core.TransportRing, Delay: 20 * sim.US, Seed: 1}
+	var scens []Scenario
+	for i := 0; i < 8; i++ {
+		p := base
+		p.SimTime = sim.SEC // far longer than the cancel window
+		scens = append(scens, Scenario{Name: "slow", Params: p})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	outs := RunAllContext(ctx, scens, 2)
+	if len(outs) != len(scens) {
+		t.Fatalf("%d outcomes, want %d", len(outs), len(scens))
+	}
+	sawCancel := false
+	for i, o := range outs {
+		if o.Err == nil && o.Result == nil {
+			t.Fatalf("outcome %d has neither result nor error", i)
+		}
+		if errors.Is(o.Err, context.Canceled) {
+			sawCancel = true
+		}
+	}
+	if !sawCancel {
+		t.Fatal("no outcome carries context.Canceled after mid-sweep cancel")
+	}
+}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -139,6 +140,11 @@ type Params struct {
 	Obs *obs.Registry
 }
 
+// WithDefaults returns p with every zero field replaced by the run
+// default — the view Run executes and admission control must quota
+// against (an empty SimTime is a 1ms run, not a zero-length one).
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields.
 func (p Params) withDefaults() Params {
 	if p.ClockPeriod == 0 {
@@ -226,8 +232,21 @@ func (r *Result) ForwardedPct() float64 {
 	return 100 * float64(r.Forwarded) / float64(r.Generated)
 }
 
-// Run executes one full co-simulation of the case study.
-func Run(p Params) (*Result, error) {
+// Run executes one full co-simulation of the case study. It is
+// RunContext with a background context; existing call sites keep
+// compiling unchanged.
+func Run(p Params) (*Result, error) { return RunContext(context.Background(), p) }
+
+// RunContext executes one full co-simulation of the case study under
+// ctx. Cancellation is cooperative: a begin-of-cycle hook watches
+// ctx.Done() and stops the kernel at the next simulation-cycle
+// boundary, the deferred teardown shuts the kernel, channels and guest
+// runners down, and the call returns ctx.Err() instead of a Result. A
+// context deadline bounds the run's wall-clock time the same way.
+func RunContext(ctx context.Context, p Params) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p = p.withDefaults()
 	reg := p.Obs
 	if reg == nil {
@@ -238,6 +257,18 @@ func Run(p Params) (*Result, error) {
 	tr := core.ObservedTransport(p.Transport, reg)
 	k := sim.NewKernel("soc")
 	clk := sim.NewClock(k, "clk", p.ClockPeriod)
+	if done := ctx.Done(); done != nil {
+		// Cooperative cancellation: one non-blocking poll per simulation
+		// cycle, the same cadence the paper's kernel-embedded schemes use
+		// for their external activity checks.
+		k.AddCycleHook(func(k *sim.Kernel) {
+			select {
+			case <-done:
+				k.Stop()
+			default:
+			}
+		})
+	}
 
 	var (
 		schemes []core.Scheme
@@ -412,6 +443,11 @@ func Run(p Params) (*Result, error) {
 	runtime.ReadMemStats(&msAfter)
 	if err != nil && err != sim.ErrDeadlock {
 		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The cancellation hook stopped the kernel mid-run; the deferred
+		// cleanup tears down runners, channels and the kernel itself.
+		return nil, cerr
 	}
 	for _, sch := range schemes {
 		if schemeErr := sch.Err(); schemeErr != nil {

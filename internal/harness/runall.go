@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -21,12 +22,20 @@ type RunOutcome struct {
 	Err      error
 }
 
-// runScenario is the function RunAll dispatches to; a variable so tests
-// can inject failures and panics.
-var runScenario = Run
+// runScenario is the function RunAllContext dispatches to; a variable
+// so tests can inject failures and panics.
+var runScenario = RunContext
 
 // RunAll executes the scenarios on a pool of `workers` goroutines and
-// returns outcomes in scenario order, regardless of completion order.
+// returns outcomes in scenario order. It is RunAllContext with a
+// background context; existing call sites keep compiling unchanged.
+func RunAll(scenarios []Scenario, workers int) []RunOutcome {
+	return RunAllContext(context.Background(), scenarios, workers)
+}
+
+// RunAllContext executes the scenarios on a pool of `workers`
+// goroutines under ctx and returns outcomes in scenario order,
+// regardless of completion order.
 //
 // Every scenario owns its simulation kernel, ISS, guest image and
 // sockets, so runs are fully isolated: with identical seeds, a parallel
@@ -35,7 +44,12 @@ var runScenario = Run
 // beyond len(scenarios) is clamped. A panic inside one run is captured
 // into that scenario's Err (with its stack) instead of taking down the
 // whole sweep.
-func RunAll(scenarios []Scenario, workers int) []RunOutcome {
+//
+// Cancelling ctx stops the sweep cooperatively: in-flight runs tear
+// down at their next cycle boundary and report ctx.Err(), and scenarios
+// not yet started are marked with ctx.Err() without running at all, so
+// the returned slice is always fully populated.
+func RunAllContext(ctx context.Context, scenarios []Scenario, workers int) []RunOutcome {
 	out := make([]RunOutcome, len(scenarios))
 	if len(scenarios) == 0 {
 		return out
@@ -53,7 +67,11 @@ func RunAll(scenarios []Scenario, workers int) []RunOutcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = runOne(scenarios[i])
+				if err := ctx.Err(); err != nil {
+					out[i] = RunOutcome{Scenario: scenarios[i], Err: err}
+					continue
+				}
+				out[i] = runOne(ctx, scenarios[i])
 			}
 		}()
 	}
@@ -66,7 +84,7 @@ func RunAll(scenarios []Scenario, workers int) []RunOutcome {
 }
 
 // runOne executes a single scenario with panic capture.
-func runOne(s Scenario) (o RunOutcome) {
+func runOne(ctx context.Context, s Scenario) (o RunOutcome) {
 	o.Scenario = s
 	defer func() {
 		if r := recover(); r != nil {
@@ -74,7 +92,7 @@ func runOne(s Scenario) (o RunOutcome) {
 			o.Err = fmt.Errorf("harness: scenario %q panicked: %v\n%s", s.Name, r, debug.Stack())
 		}
 	}()
-	o.Result, o.Err = runScenario(s.Params)
+	o.Result, o.Err = runScenario(ctx, s.Params)
 	return o
 }
 

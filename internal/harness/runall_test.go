@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,7 +57,7 @@ func TestRunAllCapturesPanics(t *testing.T) {
 	defer func() { runScenario = orig }()
 
 	wantErr := errors.New("scheme refused")
-	runScenario = func(p Params) (*Result, error) {
+	runScenario = func(_ context.Context, p Params) (*Result, error) {
 		switch p.Seed {
 		case 1:
 			panic("kernel exploded")
@@ -98,7 +99,7 @@ func TestRunAllCapturesPanics(t *testing.T) {
 func TestRunAllWorkerClamping(t *testing.T) {
 	orig := runScenario
 	defer func() { runScenario = orig }()
-	runScenario = func(p Params) (*Result, error) {
+	runScenario = func(_ context.Context, p Params) (*Result, error) {
 		return &Result{Params: p}, nil
 	}
 
