@@ -6,6 +6,7 @@
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
 //	         [-scheme NAME] [-cpus N] [-transport tcp|unix|ring|pipe]
+//	         [-dmi] [-coalesce] [-ablate dmi,coalesce]
 //	         [-parallel N] [-json] [-server URL]
 //
 // -full uses the paper-scale simulated durations (slow); the default
@@ -22,6 +23,13 @@
 // partitioned across N guest CPUs. Only gdb-kernel and driver-kernel
 // drive more than one CPU, so a multi-CPU Table 1 sweep drops the
 // GDB-Wrapper baseline and reports per-run records.
+// -dmi and -coalesce turn on the Driver-Kernel memory fast path (direct
+// memory windows / per-flush message batching; see the README's "Memory
+// fast path" section). -ablate cross-sweeps those axes instead: every
+// driver-kernel scenario runs once per cell of the off/on cross product,
+// tagged /dmi=0|1 and /co=0|1, and the report carries per-run records
+// only — the BENCH_*_dmi.json evidence comes from
+// `-ablate dmi,coalesce -json`.
 // -parallel runs the experiment sweep on N workers: every run owns its
 // kernel, ISS and sockets, so scheme results are identical to the
 // sequential sweep — only total wall time drops. -json replaces the
@@ -92,6 +100,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment sweep workers (1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable metrics report")
 	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
+	dmi := flag.Bool("dmi", false, "grant driver-kernel guests direct memory windows (memory fast path)")
+	coalesce := flag.Bool("coalesce", false, "batch driver-kernel kernel->guest messages into one frame per flush")
+	ablate := flag.String("ablate", "", `cross-sweep memory fast-path axes: "dmi", "coalesce" or "dmi,coalesce"`)
 	serverURL := flag.String("server", "", "drive a running cosimd at this base URL instead of simulating in-process")
 	flag.Parse()
 
@@ -99,11 +110,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	abl, err := parseAblate(*ablate)
+	if err != nil {
+		fatal(err)
+	}
 	// The scalar flags funnel through the wire-form Spec — the same
 	// validated request shape a cosimd session POST carries. benchtab
 	// sweeps schemes itself, so the base spec carries a placeholder
 	// scheme that every scenario overwrites.
-	baseSpec := harness.Spec{Scheme: "gdb-kernel", Delay: *delay, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC}
+	baseSpec := harness.Spec{Scheme: "gdb-kernel", Delay: *delay, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC, DMI: *dmi, Coalesce: *coalesce}
 	base, err := baseSpec.Params()
 	if err != nil {
 		fatal(err)
@@ -156,15 +171,15 @@ func main() {
 	} else {
 		switch *exp {
 		case "table1":
-			runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
+			runTable1(rep, simTimes, base, sel, trs, abl, *parallel, *jsonOut)
 		case "figure7":
-			runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
+			runFigure7(rep, base, sel, trs, abl, *parallel, *jsonOut)
 		case "loc":
 			runLoC(rep, *jsonOut)
 		case "all":
-			runTable1(rep, simTimes, base, sel, trs, *parallel, *jsonOut)
+			runTable1(rep, simTimes, base, sel, trs, abl, *parallel, *jsonOut)
 			sep(*jsonOut)
-			runFigure7(rep, base, sel, trs, *parallel, *jsonOut)
+			runFigure7(rep, base, sel, trs, abl, *parallel, *jsonOut)
 			sep(*jsonOut)
 			runLoC(rep, *jsonOut)
 		default:
@@ -207,6 +222,77 @@ func parseTransports(arg string) ([]core.Transport, error) {
 	return trs, nil
 }
 
+// ablation names the memory fast-path axes a sweep cross-multiplies
+// (the -ablate flag).
+type ablation struct{ dmi, coalesce bool }
+
+func (a ablation) active() bool { return a.dmi || a.coalesce }
+
+// parseAblate resolves the -ablate flag value: a comma list of axis
+// names ("dmi", "coalesce"; "co" is accepted for the latter).
+func parseAblate(arg string) (ablation, error) {
+	var a ablation
+	if strings.TrimSpace(arg) == "" {
+		return a, nil
+	}
+	for _, f := range strings.Split(arg, ",") {
+		switch strings.TrimSpace(strings.ToLower(f)) {
+		case "dmi":
+			a.dmi = true
+		case "coalesce", "co":
+			a.coalesce = true
+		default:
+			return a, fmt.Errorf("unknown -ablate axis %q (want dmi, coalesce)", f)
+		}
+	}
+	return a, nil
+}
+
+// expand cross-multiplies every driver-kernel scenario over the active
+// ablation axes, tagging each cell /dmi=0|1 and /co=0|1. Schemes that
+// ignore the memory fast path keep their single base cell: re-running
+// them per cell would only duplicate identical measurements.
+func (a ablation) expand(scens []harness.Scenario) []harness.Scenario {
+	if !a.active() {
+		return scens
+	}
+	onOff := func(swept bool, base bool) []bool {
+		if swept {
+			return []bool{false, true}
+		}
+		return []bool{base}
+	}
+	var out []harness.Scenario
+	for _, sc := range scens {
+		if sc.Params.Scheme != harness.DriverKernel {
+			out = append(out, sc)
+			continue
+		}
+		for _, dv := range onOff(a.dmi, sc.Params.DMI) {
+			for _, cv := range onOff(a.coalesce, sc.Params.Coalesce) {
+				cell := sc
+				cell.Params.DMI = dv
+				cell.Params.Coalesce = cv
+				if a.dmi {
+					cell.Name += fmt.Sprintf("/dmi=%d", b2i(dv))
+				}
+				if a.coalesce {
+					cell.Name += fmt.Sprintf("/co=%d", b2i(cv))
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // tagTransport suffixes scenario names with /tr=NAME so records from a
 // multi-transport sweep stay distinguishable.
 func tagTransport(scens []harness.Scenario, tr core.Transport) []harness.Scenario {
@@ -216,7 +302,7 @@ func tagTransport(scens []harness.Scenario, tr core.Transport) []harness.Scenari
 	return scens
 }
 
-func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, trs []core.Transport, workers int, jsonOut bool) {
+func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harness.Scheme, trs []core.Transport, abl ablation, workers int, jsonOut bool) {
 	multiTr := len(trs) > 1
 	for _, tr := range trs {
 		b := base
@@ -226,13 +312,14 @@ func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harnes
 		if multiTr {
 			scens = tagTransport(scens, tr)
 		}
+		scens = abl.expand(scens)
 		outs := harness.RunAll(scens, workers)
 		collectRuns(rep, outs)
-		if sel >= 0 || b.CPUs > 1 || multiTr {
+		if sel >= 0 || b.CPUs > 1 || multiTr || abl.active() {
 			// The folded table needs every scheme's column in exact
 			// sweep order; a filtered, multi-CPU (which drops the
-			// single-CPU GDB-Wrapper baseline) or multi-transport sweep
-			// reports per-run records only.
+			// single-CPU GDB-Wrapper baseline), multi-transport or
+			// ablation sweep reports per-run records only.
 			if err := harness.FirstError(outs); err != nil {
 				fatal(err)
 			}
@@ -258,7 +345,7 @@ func runTable1(rep *report, simTimes []sim.Time, base harness.Params, sel harnes
 	}
 }
 
-func runFigure7(rep *report, base harness.Params, sel harness.Scheme, trs []core.Transport, workers int, jsonOut bool) {
+func runFigure7(rep *report, base harness.Params, sel harness.Scheme, trs []core.Transport, abl ablation, workers int, jsonOut bool) {
 	delays := []sim.Time{5 * sim.US, 10 * sim.US, 20 * sim.US, 30 * sim.US, 50 * sim.US, 100 * sim.US}
 	base.SimTime = 2 * sim.MS
 	multiTr := len(trs) > 1
@@ -269,9 +356,10 @@ func runFigure7(rep *report, base harness.Params, sel harness.Scheme, trs []core
 		if multiTr {
 			scens = tagTransport(scens, tr)
 		}
+		scens = abl.expand(scens)
 		outs := harness.RunAll(scens, workers)
 		collectRuns(rep, outs)
-		if sel >= 0 || multiTr {
+		if sel >= 0 || multiTr || abl.active() {
 			if err := harness.FirstError(outs); err != nil {
 				fatal(err)
 			}

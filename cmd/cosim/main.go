@@ -31,6 +31,8 @@ func main() {
 	transport := flag.String("transport", "tcp", "IPC transport: tcp, unix, ring or pipe")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	cpus := flag.Int("cpus", 1, "checksum CPUs servicing the router (gdb-kernel and driver-kernel)")
+	dmi := flag.Bool("dmi", false, "grant driver-kernel guests direct memory windows (memory fast path)")
+	coalesce := flag.Bool("coalesce", false, "batch driver-kernel kernel->guest messages into one frame per flush")
 	vcd := flag.String("vcd", "", "write a VCD trace of queue occupancy to this file")
 	journal := flag.String("journal", "", "write a CSV journal of every co-simulation transfer to this file")
 	metricsOut := flag.String("metrics", "", "write the run's obs metrics snapshot (JSON) to this file")
@@ -51,6 +53,8 @@ func main() {
 		FifoDepth:     *fifo,
 		Seed:          *seed,
 		CPUs:          *cpus,
+		DMI:           *dmi,
+		Coalesce:      *coalesce,
 	}
 	p, err := spec.Params()
 	if err != nil {

@@ -14,13 +14,15 @@
 // whether a literal or a Sprintf format — must use a metric from the
 // documented set (README "Observability"): the aggregates are asserted
 // to equal the per-CPU sums, so an off-grammar name would silently fall
-// out of that reconciliation.
+// out of that reconciliation. The `transport.<backend>.*` namespace is
+// held to the same rule with its own metric set.
 package obsnames
 
 import (
 	"go/ast"
 	"go/constant"
 	"regexp"
+	"sort"
 	"strings"
 
 	"cosim/internal/analysis"
@@ -38,13 +40,38 @@ var Analyzer = &analysis.Analyzer{
 // reconcile. Extending the per-CPU namespace means extending this set
 // (and the README table) in the same change.
 var PerCPUMetrics = map[string]bool{
-	"messages":      true,
-	"interrupts":    true,
-	"skew_waits":    true,
-	"pending_reads": true,
+	"messages":        true,
+	"interrupts":      true,
+	"skew_waits":      true,
+	"pending_reads":   true,
+	"dmi_hits":        true,
+	"dmi_misses":      true,
+	"dmi_revocations": true,
 }
 
-var perCPURe = regexp.MustCompile(`^driver\.cpu(?:\d+|%d)\.([a-z0-9_.]+)$`)
+// TransportMetrics is the documented transport.<backend>.* metric set
+// (README "Observability"); the backend segment is the transport name.
+var TransportMetrics = map[string]bool{
+	"pairs":        true,
+	"tx_bytes":     true,
+	"rx_bytes":     true,
+	"batched_msgs": true,
+}
+
+var (
+	perCPURe    = regexp.MustCompile(`^driver\.cpu(?:\d+|%d)\.([a-z0-9_.]+)$`)
+	transportRe = regexp.MustCompile(`^transport\.(?:[a-z0-9_-]+|%s)\.([a-z0-9_.]+)$`)
+)
+
+// sortedKeys renders a metric set for diagnostics.
+func sortedKeys(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
 
 // coldFunc reports whether fn may build metric names dynamically:
 // construction-time code runs once per attachment, not per cycle.
@@ -130,8 +157,19 @@ func sprintfFormat(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 }
 
 // checkGrammar validates a known name (literal or Sprintf format)
-// against the per-CPU namespace grammar.
+// against the per-CPU and transport namespace grammars.
 func checkGrammar(pass *analysis.Pass, at ast.Expr, name string) {
+	if strings.HasPrefix(name, "transport.") {
+		m := transportRe.FindStringSubmatch(name)
+		if m == nil {
+			pass.Reportf(at.Pos(), "obs name %q is in the transport.* namespace but does not match the transport.<backend>.<metric> grammar", name)
+			return
+		}
+		if metric := m[1]; !TransportMetrics[metric] {
+			pass.Reportf(at.Pos(), "obs name %q uses undocumented transport metric %q (documented: %s); update obsnames.TransportMetrics and the README together", name, metric, sortedKeys(TransportMetrics))
+		}
+		return
+	}
 	if !strings.HasPrefix(name, "driver.cpu") {
 		return
 	}
@@ -144,6 +182,6 @@ func checkGrammar(pass *analysis.Pass, at ast.Expr, name string) {
 	// the bare metric name here.
 	metric := m[1]
 	if !PerCPUMetrics[metric] {
-		pass.Reportf(at.Pos(), "obs name %q uses undocumented per-CPU metric %q (documented: messages, interrupts, skew_waits, pending_reads); update obsnames.PerCPUMetrics and the README together", name, metric)
+		pass.Reportf(at.Pos(), "obs name %q uses undocumented per-CPU metric %q (documented: %s); update obsnames.PerCPUMetrics and the README together", name, metric, sortedKeys(PerCPUMetrics))
 	}
 }

@@ -59,3 +59,23 @@ func (h *handles) suppressed(r *obs.Registry, id int) {
 	//cosimvet:ignore obsnames fixture exercises the suppression directive
 	r.Counter(fmt.Sprintf("driver.cpu%d.messages", id)).Inc()
 }
+
+// The documented per-CPU DMI metrics and transport metrics pass.
+func newDMIHandles(r *obs.Registry, id int) *handles {
+	return &handles{
+		msgs:    r.Counter(fmt.Sprintf("driver.cpu%d.dmi_hits", id)),
+		pending: r.Gauge(fmt.Sprintf("driver.cpu%d.dmi_misses", id)),
+		name:    fmt.Sprintf("driver.cpu%d.dmi_revocations", id),
+	}
+}
+
+func (h *handles) transportConstants(r *obs.Registry) {
+	r.Counter("transport.ring.pairs").Inc()
+	r.Counter("transport.tcp.tx_bytes").Inc()
+	r.Counter("transport.unix.rx_bytes").Inc()
+	r.Counter("transport.pipe.batched_msgs").Inc()
+}
+
+func newSprintfTransportOK(r *obs.Registry, backend string) *obs.Counter {
+	return r.Counter(fmt.Sprintf("transport.%s.batched_msgs", backend))
+}

@@ -36,3 +36,17 @@ func newMalformed(r *obs.Registry) *obs.Gauge {
 func newSprintfOffGrammar(r *obs.Registry, id int) *obs.Counter {
 	return r.Counter(fmt.Sprintf("driver.cpu%d.typo_metric", id)) // want `undocumented per-CPU metric "typo_metric"`
 }
+
+// transport namespace: undocumented metric and malformed name.
+func newBadTransportMetric(r *obs.Registry) *obs.Counter {
+	return r.Counter("transport.ring.bogus_rate") // want `undocumented transport metric "bogus_rate"`
+}
+
+func newMalformedTransport(r *obs.Registry) *obs.Counter {
+	return r.Counter("transport.UPPER") // want `does not match the transport.<backend>.<metric> grammar`
+}
+
+// Sprintf-built transport names are grammar-checked too.
+func newSprintfTransport(r *obs.Registry, backend string) *obs.Counter {
+	return r.Counter(fmt.Sprintf("transport.%s.typo_bytes", backend)) // want `undocumented transport metric "typo_bytes"`
+}

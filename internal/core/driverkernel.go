@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cosim/internal/dev"
 	"cosim/internal/obs"
 	"cosim/internal/sim"
 	"cosim/internal/transport"
@@ -36,6 +38,15 @@ type DriverKernel struct {
 	period      sim.Time
 	skewBound   sim.Time
 	waitTimeout time.Duration // how long a conservative wait may block
+
+	// dmi grants each CPU's bridge device direct windows into the
+	// side-effect-free backing memory of its bound ports; coalesce packs
+	// the kernel->guest messages accumulated between flush points into
+	// one BATCH envelope per transport write. Both are attach-time
+	// choices (DriverKernelOptions) — the hot paths branch on plain
+	// bools, never on configuration lookups.
+	dmi      bool
+	coalesce bool
 
 	mu     sync.Mutex
 	inbox  []Message     // CPU-tagged, drained by the begin-of-cycle hook; guarded by mu
@@ -92,7 +103,34 @@ type driverCPU struct {
 	rdErr  error // reader goroutine's terminal error; guarded by d.mu
 	hadMsg bool  // batch scratch: a message from this CPU was drained
 
+	// DMI state: the windows granted over this CPU's bound ports, the
+	// guest-activity flag its window hits raise (the lock-step wait
+	// treats window activity exactly like an arriving message), and a
+	// kernel-context scratch for draining staged writes.
+	grants    []*dmiGrant
+	dmiActive atomic.Bool
+	stagedBuf []dev.StagedWrite
+
+	// outBatch accumulates kernel->guest DATA messages between flush
+	// points when coalescing is on; flushChannels writes it as one
+	// BATCH envelope. Kernel context only.
+	outBatch []Message
+
 	obs driverCPUObs
+}
+
+// dmiGrant couples one granted window to the kernel-side state it
+// shadows: a read grant mirrors an iss_out binding (b != nil), a write
+// grant stages stores for an iss_in port (in != nil). The last* fields
+// remember the window counters already flushed into the obs registry,
+// so reconciliation adds deltas instead of re-counting.
+type dmiGrant struct {
+	w    *dev.Window
+	b    *binding   // read grant: the iss_out binding served by the window
+	in   *sim.IssIn // write grant: the iss_in port staged stores deliver to
+	port string     // guest-visible port name (journal/labels)
+
+	lastHits, lastMisses, lastRevs uint64
 }
 
 // driverObs holds the aggregate Driver-Kernel hot-path metrics,
@@ -108,6 +146,10 @@ type driverObs struct {
 	skewWaits    *obs.Counter
 	skewWaitNS   *obs.Histogram
 	pendingReads *obs.Gauge
+
+	dmiHits        *obs.Counter
+	dmiMisses      *obs.Counter
+	dmiRevocations *obs.Counter
 }
 
 func (o *driverObs) init(r *obs.Registry) {
@@ -120,6 +162,9 @@ func (o *driverObs) init(r *obs.Registry) {
 	o.skewWaits = r.Counter("driver.skew_waits")
 	o.skewWaitNS = r.Histogram("driver.skew_wait_ns")
 	o.pendingReads = r.Gauge("driver.pending_reads")
+	o.dmiHits = r.Counter("driver.dmi_hits")
+	o.dmiMisses = r.Counter("driver.dmi_misses")
+	o.dmiRevocations = r.Counter("driver.dmi_revocations")
 }
 
 // driverCPUObs is the per-CPU counter set ("driver.cpu0.messages", ...)
@@ -129,6 +174,10 @@ type driverCPUObs struct {
 	messages   *obs.Counter
 	interrupts *obs.Counter
 	skewWaits  *obs.Counter
+
+	dmiHits        *obs.Counter
+	dmiMisses      *obs.Counter
+	dmiRevocations *obs.Counter
 
 	// pendingReads and its name are resolved once here so Publish — a
 	// per-flush hot path — never rebuilds "driver.cpuN.*" strings. The
@@ -141,6 +190,9 @@ func (o *driverCPUObs) init(r *obs.Registry, id int) {
 	o.messages = r.Counter(fmt.Sprintf("driver.cpu%d.messages", id))
 	o.interrupts = r.Counter(fmt.Sprintf("driver.cpu%d.interrupts", id))
 	o.skewWaits = r.Counter(fmt.Sprintf("driver.cpu%d.skew_waits", id))
+	o.dmiHits = r.Counter(fmt.Sprintf("driver.cpu%d.dmi_hits", id))
+	o.dmiMisses = r.Counter(fmt.Sprintf("driver.cpu%d.dmi_misses", id))
+	o.dmiRevocations = r.Counter(fmt.Sprintf("driver.cpu%d.dmi_revocations", id))
 	o.pendingReadsName = fmt.Sprintf("driver.cpu%d.pending_reads", id)
 	o.pendingReads = r.Gauge(o.pendingReadsName)
 }
@@ -156,6 +208,13 @@ type DriverChannel struct {
 	IRQ    io.Writer
 	Prefix string
 	Ports  []VarBinding
+
+	// DMI, when non-nil and DriverKernelOptions.DMI is set, is the grant
+	// surface of this CPU's guest-side bridge device (its Platform or
+	// CosimDev): the kernel grants it a direct window per bound port so
+	// guest accesses to side-effect-free port memory bypass the message
+	// protocol. Channels without a granter simply never hit.
+	DMI dev.DMIGranter
 }
 
 // DriverKernelOptions configures the scheme.
@@ -170,6 +229,15 @@ type DriverKernelOptions struct {
 	// by the single-CPU NewDriverKernel constructor; multi-CPU callers
 	// declare ports per channel.
 	Ports []VarBinding
+
+	// DMI grants direct memory windows over each channel's bound ports
+	// (requires the channel to carry a granter). Off by default.
+	DMI bool
+	// Coalesce packs the kernel->guest messages accumulated between
+	// flush points into versioned BATCH envelopes, one transport write
+	// per flush. The guest-side device must unwrap envelopes (its read
+	// pump is switched to frame mode by the harness). Off by default.
+	Coalesce bool
 }
 
 // NewDriverKernel attaches the scheme with a single CPU. data and irq
@@ -199,6 +267,8 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 		journal:     opts.Journal,
 		notify:      make(chan struct{}, 1),
 		obsReg:      opts.Obs,
+		dmi:         opts.DMI,
+		coalesce:    opts.Coalesce,
 	}
 	d.obs.init(opts.Obs)
 	for i, ch := range channels {
@@ -239,15 +309,22 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 				c.outBindings[name] = b
 			}
 		}
+		if opts.DMI && ch.DMI != nil {
+			c.grantWindows(ch.DMI)
+		}
 		d.cpus = append(d.cpus, c)
 
-		// Reader goroutine: decode messages from this CPU's data socket
+		// Reader goroutine: decode frames from this CPU's data socket
 		// into the shared inbox, tagged with the CPU id so the drain
-		// hook routes them to the right per-CPU state.
+		// hook routes them to the right per-CPU state. ReadMessages
+		// accepts plain frames and BATCH envelopes alike, so the reader
+		// is coalescing-agnostic.
 		go func(c *driverCPU, r io.Reader) {
 			br := bufio.NewReader(r)
+			var batch []Message
 			for {
-				m, err := ReadMessage(br)
+				var err error
+				batch, err = ReadMessages(br, batch[:0])
 				if err != nil {
 					d.mu.Lock()
 					c.rdErr = err
@@ -260,9 +337,11 @@ func NewDriverKernelMulti(k *sim.Kernel, channels []DriverChannel, opts DriverKe
 					}
 					return
 				}
-				m.CPU = c.id
 				d.mu.Lock()
-				d.inbox = append(d.inbox, m)
+				for i := range batch {
+					batch[i].CPU = c.id
+					d.inbox = append(d.inbox, batch[i])
+				}
 				d.mu.Unlock()
 				select {
 				case d.notify <- struct{}{}:
@@ -302,8 +381,22 @@ func (d *DriverKernel) CPUCount() int { return len(d.cpus) }
 
 // Detach implements Scheme. The guest runners are owned by the caller
 // (they predate the scheme attachment), so there is nothing to quiesce
-// here.
-func (d *DriverKernel) Detach() {}
+// — but every granted DMI window is revoked here (the kernel-side
+// explicit revocation rule): late guest accesses fall back to the
+// message path, the port mirror hooks are removed, and the final
+// window counter deltas (including the revocations themselves) are
+// flushed into the obs registry before the caller snapshots it.
+func (d *DriverKernel) Detach() {
+	for _, c := range d.cpus {
+		for _, g := range c.grants {
+			g.w.Revoke()
+			if g.b != nil {
+				g.b.outPort.SetOnWrite(nil)
+			}
+			d.flushGrantCounters(c, g)
+		}
+	}
+}
 
 // Publish implements Scheme: the Driver-Kernel protocol has no
 // transport-level totals beyond its live counters, so only the pending
@@ -314,6 +407,11 @@ func (d *DriverKernel) Detach() {}
 func (d *DriverKernel) Publish(r *obs.Registry) {
 	total := 0
 	for _, c := range d.cpus {
+		// Unflushed DMI window deltas land in the attach registry's
+		// handles, so an end-of-run snapshot never misses the tail.
+		for _, g := range c.grants {
+			d.flushGrantCounters(c, g)
+		}
 		n := len(c.pendingReads)
 		total += n
 		g := c.obs.pendingReads
@@ -356,6 +454,115 @@ func (c *driverCPU) errf(format string, args ...any) error {
 	return fmt.Errorf("%s: "+format, append([]any{any(c.label)}, args...)...)
 }
 
+// grantWindows hands the guest-side bridge one direct window per bound
+// port: iss_out bindings get read windows kept coherent by the port's
+// write hook, iss_in ports get write windows whose staged stores the
+// drain hook reconciles. Every bound port is a protocol data port —
+// side-effect-free backing memory — so all of them are DMI-eligible;
+// side-effectful device registers never reach this path because they
+// are not ports.
+func (c *driverCPU) grantWindows(granter dev.DMIGranter) {
+	for name, b := range c.outBindings {
+		w := dev.NewWindow(name, c.notifyActivity)
+		w.Update(b.outPort.Bytes(), b.outPort.Writes())
+		b.outPort.SetOnWrite(w.Update)
+		granter.GrantDMIWindow(name, w)
+		c.grants = append(c.grants, &dmiGrant{w: w, b: b, port: name})
+	}
+	for name, p := range c.inPorts {
+		w := dev.NewWindow(name, c.notifyActivity)
+		granter.GrantDMIWindow(name, w)
+		c.grants = append(c.grants, &dmiGrant{w: w, in: p, port: name})
+	}
+}
+
+// notifyActivity is the window activity callback, invoked from the
+// guest thread after every window hit. It marks the CPU for
+// reconciliation and wakes a conservative wait, exactly as an arriving
+// protocol message would — window hits skip the codec and transport,
+// not the lock-step coupling.
+func (c *driverCPU) notifyActivity() {
+	c.dmiActive.Store(true)
+	select {
+	case c.d.notify <- struct{}{}:
+	default:
+	}
+}
+
+// reconcileWindows folds guest window activity back into the lock-step
+// state at the begin-of-cycle hook: a consumed read generation advances
+// the CPU's timeline anchor and marks the guest busy (it is computing
+// on the data, like after a DATA reply); staged writes are delivered to
+// their iss_in ports at their cycle-stamped target times and settle the
+// guest's outstanding work (like a WRITE message). Window counter
+// deltas are flushed into the obs registry on the way.
+func (d *DriverKernel) reconcileWindows(k *sim.Kernel) {
+	if !d.dmi {
+		return
+	}
+	for _, c := range d.cpus {
+		if !c.dmiActive.Swap(false) {
+			continue
+		}
+		for _, g := range c.grants {
+			if g.b != nil {
+				if seq, cycles, ok := g.w.TakeReadAck(); ok {
+					t := c.targetTime(cycles)
+					c.advanceSync(cycles, t)
+					if seq > g.b.consumed {
+						g.b.consumed = seq
+						g.b.outPort.Consumed()
+					}
+					d.stats.Transfers++
+					c.outstanding = true
+					c.outSince = k.Now()
+					d.journal.Record(JournalEntry{
+						Time: k.Now(), Scheme: "driver-kernel", Dir: "sc->iss",
+						Port: c.prefix + g.port, Bytes: len(g.b.outPort.Bytes()), Cycles: uint64(cycles),
+					})
+				}
+			}
+			if g.in != nil {
+				c.stagedBuf = g.w.TakeStaged(c.stagedBuf[:0])
+				for _, sw := range c.stagedBuf {
+					t := c.targetTime(sw.Cycles)
+					port, data := g.in, sw.Data
+					k.CallAt(t, func() { port.Deliver(data) })
+					c.advanceSync(sw.Cycles, t)
+					d.stats.Transfers++
+					c.outstanding = false
+					d.journal.Record(JournalEntry{
+						Time: t, Scheme: "driver-kernel", Dir: "iss->sc",
+						Port: c.prefix + g.port, Bytes: len(sw.Data), Cycles: uint64(sw.Cycles),
+					})
+				}
+			}
+			d.flushGrantCounters(c, g)
+		}
+	}
+}
+
+// flushGrantCounters adds the window's counter growth since the last
+// flush into the aggregate and per-CPU obs counters.
+func (d *DriverKernel) flushGrantCounters(c *driverCPU, g *dmiGrant) {
+	hits, misses, revs := g.w.Counters()
+	if n := hits - g.lastHits; n > 0 {
+		d.obs.dmiHits.Add(n)
+		c.obs.dmiHits.Add(n)
+		d.stats.DMIHits += n
+	}
+	if n := misses - g.lastMisses; n > 0 {
+		d.obs.dmiMisses.Add(n)
+		c.obs.dmiMisses.Add(n)
+		d.stats.DMIMisses += n
+	}
+	if n := revs - g.lastRevs; n > 0 {
+		d.obs.dmiRevocations.Add(n)
+		c.obs.dmiRevocations.Add(n)
+	}
+	g.lastHits, g.lastMisses, g.lastRevs = hits, misses, revs
+}
+
 // targetTime maps a guest cycle stamp to simulated time (32-bit
 // wrap-aware).
 func (c *driverCPU) targetTime(cycles uint32) sim.Time {
@@ -376,8 +583,12 @@ func (c *driverCPU) advanceSync(cycles uint32, t sim.Time) {
 }
 
 // inboxReadyFor reports whether the drain would make progress for this
-// CPU: a message from it is queued, or its reader hit a terminal error.
+// CPU: a message from it is queued, unreconciled window activity is
+// pending, or its reader hit a terminal error.
 func (d *DriverKernel) inboxReadyFor(c *driverCPU) bool {
+	if c.dmiActive.Load() {
+		return true
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if c.rdErr != nil {
@@ -440,12 +651,28 @@ func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
 	}
 }
 
-// flushChannels pushes batched frames out of Flusher-capable channel
-// ends. Called at the hook boundaries — after the reply loops, before a
-// conservative wait — so a buffered DATA reply or interrupt is never
-// left unsent past a point the guest may block on it.
+// flushChannels pushes batched frames out of the channels at the three
+// hook boundaries — after the reply loops, before a conservative wait,
+// after the interrupt fan-out — so a buffered DATA reply or interrupt
+// is never left unsent past a point the guest may block on it. With
+// coalescing on, each CPU's accumulated replies go out here as one
+// BATCH envelope per flush; Flusher-capable channel ends are then
+// flushed as before.
 func (d *DriverKernel) flushChannels() {
 	for _, c := range d.cpus {
+		if len(c.outBatch) > 0 {
+			n := len(c.outBatch)
+			if err := WriteBatch(c.dataW, c.outBatch); err != nil && d.err == nil {
+				d.err = c.errf("data socket batch: %w", err)
+			}
+			if n > 1 {
+				transport.RecordBatch(c.dataW, n)
+			}
+			for i := range c.outBatch {
+				c.outBatch[i] = Message{}
+			}
+			c.outBatch = c.outBatch[:0]
+		}
 		if c.dataF != nil {
 			if err := c.dataF.Flush(); err != nil && d.err == nil {
 				d.err = c.errf("data socket flush: %w", err)
@@ -488,6 +715,11 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 	d.stats.Polls++
 	d.obs.polls.Inc()
 
+	// Fold in window activity that arrived since the last cycle, before
+	// serving pending READs: a staged write may be what a pending READ's
+	// model is waiting on.
+	d.reconcileWindows(k)
+
 	// Serve pending READs whose port has been written since.
 	for _, c := range d.cpus {
 		if len(c.pendingReads) == 0 {
@@ -515,6 +747,10 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 	msgs := d.inbox
 	d.inbox = nil
 	d.mu.Unlock()
+
+	// A conservative wait may have ended on window activity rather than
+	// a message; reconcile again so that activity lands this cycle.
+	d.reconcileWindows(k)
 
 	for _, c := range d.cpus {
 		c.hadMsg = false
@@ -593,14 +829,36 @@ func (d *DriverKernel) drain(k *sim.Kernel) {
 }
 
 // reply sends the current iss_out port value as a DATA message followed
-// by a DATA_READY interrupt so a WFI-parked guest wakes up.
+// by a DATA_READY interrupt so a WFI-parked guest wakes up. With
+// coalescing on, the DATA frame joins the CPU's accumulating batch
+// (written as one envelope at the next flush point, still within this
+// hook) and the wakeup rides the end-of-cycle interrupt fan-out — safe
+// because the guest's RX-available level interrupt fires on the data
+// itself.
 func (d *DriverKernel) reply(c *driverCPU, b *binding) {
-	if err := WriteMessage(c.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
-		d.err = c.errf("data socket (port %q): %w", b.spec.Port, err)
-		return
+	if d.coalesce {
+		// The payload references the port's buffer; flushChannels runs
+		// before any kernel process can overwrite it.
+		c.outBatch = append(c.outBatch, Message{Type: MsgData, Data: b.outPort.Bytes()})
+		c.intQueue = append(c.intQueue, IntDataReady)
+	} else {
+		if err := WriteMessage(c.dataW, Message{Type: MsgData, Data: b.outPort.Bytes()}); err != nil {
+			d.err = c.errf("data socket (port %q): %w", b.spec.Port, err)
+			return
+		}
 	}
 	b.consumed = b.outPort.Writes()
 	b.outPort.Consumed()
+	if d.dmi {
+		// The message path consumed this generation; keep the read
+		// window from re-serving it as fresh.
+		for _, g := range c.grants {
+			if g.b == b {
+				g.w.SyncConsumed(b.consumed)
+				break
+			}
+		}
+	}
 	d.stats.Transfers++
 	d.obs.replies.Inc()
 	c.outstanding = true
@@ -611,6 +869,9 @@ func (d *DriverKernel) reply(c *driverCPU, b *binding) {
 	})
 	// The guest idled while waiting; re-anchor its timeline.
 	c.syncTime = d.k.Now()
+	if d.coalesce {
+		return
+	}
 	if err := c.sendInterrupt(IntDataReady); err != nil {
 		d.err = err
 	}
@@ -638,14 +899,33 @@ func (d *DriverKernel) flushInterrupts(k *sim.Kernel) {
 		if len(c.intQueue) == 0 {
 			continue
 		}
-		for _, id := range c.intQueue {
-			if err := c.sendInterrupt(id); err != nil {
-				d.err = err
+		if d.coalesce && len(c.intQueue) > 1 {
+			// One transport write for the whole queue: the guest-side
+			// pump reads 4-byte ids in a loop, so a concatenation of
+			// notifications needs no envelope.
+			buf := make([]byte, 0, 4*len(c.intQueue))
+			for _, id := range c.intQueue {
+				buf = binary.LittleEndian.AppendUint32(buf, id)
+			}
+			if _, err := c.irqW.Write(buf); err != nil {
+				d.err = c.errf("interrupt socket (batch of %d): %w", len(c.intQueue), err)
 				return
 			}
-			d.stats.IntsNotified++
-			d.obs.interrupts.Inc()
-			c.obs.interrupts.Inc()
+			transport.RecordBatch(c.irqW, len(c.intQueue))
+			n := uint64(len(c.intQueue))
+			d.stats.IntsNotified += n
+			d.obs.interrupts.Add(n)
+			c.obs.interrupts.Add(n)
+		} else {
+			for _, id := range c.intQueue {
+				if err := c.sendInterrupt(id); err != nil {
+					d.err = err
+					return
+				}
+				d.stats.IntsNotified++
+				d.obs.interrupts.Inc()
+				c.obs.interrupts.Inc()
+			}
 		}
 		c.intQueue = c.intQueue[:0]
 		// An interrupt usually solicits guest work; treat it as a

@@ -15,6 +15,8 @@ type Stats struct {
 	Polls        uint64 // per-cycle checks performed
 	Messages     uint64 // protocol messages handled (Driver-Kernel)
 	IntsNotified uint64 // interrupts sent to the driver
+	DMIHits      uint64 // guest accesses served by direct memory windows
+	DMIMisses    uint64 // windowed-port accesses that fell back to messages
 }
 
 // engineObs holds the GDB-scheme hot-path metrics, pre-resolved at

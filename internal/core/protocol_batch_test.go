@@ -1,0 +1,317 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// decodeAll reads every frame in buf through ReadMessages until EOF.
+func decodeAll(t *testing.T, buf []byte) []Message {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(buf))
+	var msgs []Message
+	for {
+		var err error
+		msgs, err = ReadMessages(br, msgs)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return msgs
+			}
+			t.Fatalf("ReadMessages: %v", err)
+		}
+	}
+}
+
+func sameMessage(a, b Message) bool {
+	return a.Type == b.Type && a.Cycles == b.Cycles && a.Port == b.Port &&
+		bytes.Equal(a.Data, b.Data)
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	sent := []Message{
+		{Type: MsgData, Data: []byte{1, 2, 3, 4}},
+		{Type: MsgWrite, Cycles: 42, Port: "csum", Data: []byte{9}},
+		{Type: MsgRead, Cycles: 43, Port: "pkt"},
+		{Type: MsgData}, // empty payload
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, sent); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, buf.Bytes())
+	if len(got) != len(sent) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(sent))
+	}
+	for i := range sent {
+		if !sameMessage(got[i], sent[i]) {
+			t.Errorf("message %d: %+v -> %+v", i, sent[i], got[i])
+		}
+		got[i].Release()
+	}
+}
+
+// TestWriteBatchDegenerateSizes pins the writer's envelope policy: an
+// empty slice writes nothing and a single message goes out as a plain
+// frame, not a one-element envelope.
+func TestWriteBatchDegenerateSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty batch wrote %d bytes", buf.Len())
+	}
+	if err := WriteBatch(&buf, []Message{{Type: MsgData, Data: []byte{7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if typ := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); typ != MsgData {
+		t.Fatalf("single-message batch framed as type %d, want plain DATA", typ)
+	}
+	// A plain frame stays readable by the non-batch decoder too.
+	m, err := ReadMessage(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+}
+
+func TestReadMessagesAcceptsEmptyEnvelope(t *testing.T) {
+	// Writers never emit a zero-count envelope, but decoders accept it:
+	// [size=12][type=4][version=1][count=0].
+	le := binary.LittleEndian
+	var raw []byte
+	raw = le.AppendUint32(raw, 12)
+	raw = le.AppendUint32(raw, MsgBatch)
+	raw = le.AppendUint32(raw, BatchVersion)
+	raw = le.AppendUint32(raw, 0)
+	msgs, err := ReadMessages(bufio.NewReader(bytes.NewReader(raw)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("empty envelope decoded %d messages", len(msgs))
+	}
+}
+
+func TestReadMessageRejectsEnvelope(t *testing.T) {
+	batch, err := AppendBatchTo(nil, []Message{
+		{Type: MsgData, Data: []byte{1}},
+		{Type: MsgData, Data: []byte{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(batch))); err == nil {
+		t.Fatal("ReadMessage accepted a BATCH envelope")
+	}
+}
+
+func TestAppendBatchToRejectsNesting(t *testing.T) {
+	if _, err := AppendBatchTo(nil, []Message{{Type: MsgBatch}}); err == nil {
+		t.Fatal("AppendBatchTo accepted a nested envelope")
+	}
+	if _, err := AppendBatchTo(nil, []Message{{Type: 99}}); err == nil {
+		t.Fatal("AppendBatchTo accepted an unknown message type")
+	}
+}
+
+func TestAppendBatchToRejectsOversize(t *testing.T) {
+	big := Message{Type: MsgData, Data: make([]byte, MaxMessageSize-64)}
+	msgs := make([]Message, 0, 20)
+	for i := 0; i < 20; i++ { // ~1.3 MB of payload, past the 1 MB cap
+		msgs = append(msgs, big)
+	}
+	if _, err := AppendBatchTo(nil, msgs); err == nil {
+		t.Fatal("AppendBatchTo accepted an envelope past MaxBatchSize")
+	}
+}
+
+func TestMaxSizeBatchRoundTrips(t *testing.T) {
+	// Fill an envelope to just under MaxBatchSize with near-max frames.
+	payload := make([]byte, MaxMessageSize-64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var msgs []Message
+	for i := 0; i < 15; i++ { // 15 * ~65 KB ≈ 0.98 MB < 1 MB
+		msgs = append(msgs, Message{Type: MsgData, Data: payload})
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, buf.Bytes())
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, payload) {
+			t.Fatalf("message %d payload corrupted", i)
+		}
+		got[i].Release()
+	}
+}
+
+// corruptCase builds a malformed envelope byte stream and the reason it
+// must be rejected.
+type corruptCase struct {
+	name string
+	raw  func(t *testing.T) []byte
+}
+
+func corruptCases() []corruptCase {
+	le := binary.LittleEndian
+	goodBatch := func(t *testing.T) []byte {
+		t.Helper()
+		raw, err := AppendBatchTo(nil, []Message{
+			{Type: MsgWrite, Cycles: 7, Port: "csum", Data: []byte{1, 2, 3, 4}},
+			{Type: MsgData, Data: []byte{5, 6, 7, 8}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	return []corruptCase{
+		{"truncated-envelope", func(t *testing.T) []byte {
+			raw := goodBatch(t)
+			// Chop the last inner frame short but fix the size word so
+			// readFrame succeeds and the inner walk hits the truncation.
+			raw = raw[:len(raw)-5]
+			le.PutUint32(raw[0:4], uint32(len(raw)-4))
+			return raw
+		}},
+		{"unknown-version", func(t *testing.T) []byte {
+			raw := goodBatch(t)
+			le.PutUint32(raw[8:12], BatchVersion+1)
+			return raw
+		}},
+		{"undersized-header", func(t *testing.T) []byte {
+			var raw []byte
+			raw = le.AppendUint32(raw, 8)
+			raw = le.AppendUint32(raw, MsgBatch)
+			raw = le.AppendUint32(raw, BatchVersion)
+			return raw // count word missing
+		}},
+		{"nested-envelope", func(t *testing.T) []byte {
+			inner, err := AppendBatchTo(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var raw []byte
+			raw = le.AppendUint32(raw, uint32(8+len(inner)))
+			raw = le.AppendUint32(raw, MsgBatch)
+			raw = le.AppendUint32(raw, BatchVersion)
+			raw = le.AppendUint32(raw, 1)
+			return append(raw, inner...)
+		}},
+		{"trailing-bytes", func(t *testing.T) []byte {
+			raw := goodBatch(t)
+			raw = append(raw, 0xde, 0xad)
+			le.PutUint32(raw[0:4], uint32(len(raw)-4))
+			return raw
+		}},
+		{"inner-trailing-bytes", func(t *testing.T) []byte {
+			// One inner frame whose size word overstates its body: the
+			// decoder must reject the leftover bytes, not absorb them.
+			var inner []byte
+			inner = le.AppendUint32(inner, MsgData)
+			inner = le.AppendUint32(inner, 1)
+			inner = append(inner, 0x55, 0x99) // datalen=1, one stray byte
+			var raw []byte
+			raw = le.AppendUint32(raw, uint32(12+len(inner)))
+			raw = le.AppendUint32(raw, MsgBatch)
+			raw = le.AppendUint32(raw, BatchVersion)
+			raw = le.AppendUint32(raw, 1)
+			raw = le.AppendUint32(raw, uint32(len(inner)))
+			return append(raw, inner...)
+		}},
+	}
+}
+
+// TestReadMessagesRejectsCorruptEnvelopes drives every malformed-stream
+// case and checks the leak invariant: a rejected envelope releases any
+// payload buffers it had already decoded.
+func TestReadMessagesRejectsCorruptEnvelopes(t *testing.T) {
+	for _, tc := range corruptCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.raw(t)
+			before := DataBufsInUse()
+			msgs, err := ReadMessages(bufio.NewReader(bytes.NewReader(raw)), nil)
+			if err == nil {
+				t.Fatalf("accepted %s envelope: %d messages", tc.name, len(msgs))
+			}
+			if len(msgs) != 0 {
+				t.Fatalf("error return kept %d messages", len(msgs))
+			}
+			if after := DataBufsInUse(); after != before {
+				t.Fatalf("leaked %d pooled buffers", after-before)
+			}
+		})
+	}
+}
+
+// TestDecodeErrorPathsLeakNothing covers the single-frame decoder the
+// same way: every truncated/unknown frame must leave the pool balanced.
+func TestDecodeErrorPathsLeakNothing(t *testing.T) {
+	le := binary.LittleEndian
+	frame := func(body []byte) []byte {
+		raw := le.AppendUint32(nil, uint32(len(body)))
+		return append(raw, body...)
+	}
+	cases := [][]byte{
+		frame(le.AppendUint32(nil, 99)),                          // unknown type
+		frame(le.AppendUint32(nil, MsgWrite)),                    // truncated header
+		frame(append(le.AppendUint32(nil, MsgData), 9, 0, 0, 0)), // datalen past body
+		{3, 0, 0, 0},             // size below minimum
+		{0xff, 0xff, 0xff, 0xff}, // size past MaxMessageSize
+	}
+	for i, raw := range cases {
+		before := DataBufsInUse()
+		if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+			t.Fatalf("case %d: accepted corrupt frame %x", i, raw)
+		}
+		if after := DataBufsInUse(); after != before {
+			t.Fatalf("case %d: leaked %d pooled buffers", i, after-before)
+		}
+	}
+}
+
+// FuzzReadMessages feeds arbitrary byte streams to the coalescing-aware
+// decoder: it must never panic and never leak pooled payload buffers,
+// whether the stream decodes or is rejected.
+func FuzzReadMessages(f *testing.F) {
+	seed := func(msgs ...Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, msgs); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(Message{Type: MsgData, Data: []byte{1, 2, 3}},
+		Message{Type: MsgWrite, Cycles: 9, Port: "csum", Data: []byte{4}}))
+	f.Add(seed(Message{Type: MsgRead, Cycles: 1, Port: "pkt"}))
+	f.Add([]byte{8, 0, 0, 0, 4, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		before := DataBufsInUse()
+		br := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			msgs, err := ReadMessages(br, nil)
+			for i := range msgs {
+				if msgs[i].Type == MsgBatch {
+					t.Fatal("decoder surfaced a BATCH message")
+				}
+				msgs[i].Release()
+			}
+			if err != nil {
+				break
+			}
+		}
+		if after := DataBufsInUse(); after != before {
+			t.Fatalf("leaked %d pooled buffers on input %x", after-before, raw)
+		}
+	})
+}

@@ -100,6 +100,14 @@ type Config struct {
 	// Driver-Kernel scheme (channel i serves CPU i). When set it takes
 	// precedence over Data/IRQ/Ports.
 	Channels []DriverChannel
+
+	// DMI grants the Driver-Kernel guests direct memory windows over
+	// their bound ports (channels must carry a DMI granter to benefit).
+	// Ignored by the GDB schemes.
+	DMI bool
+	// Coalesce batches the Driver-Kernel's kernel->guest messages into
+	// one BATCH envelope per flush point. Ignored by the GDB schemes.
+	Coalesce bool
 }
 
 // Attach constructs and attaches the scheme named by cfg.Scheme to the
@@ -134,11 +142,15 @@ func Attach(k *sim.Kernel, cfg Config) (Scheme, error) {
 		if len(cfg.Channels) > 0 {
 			return NewDriverKernelMulti(k, cfg.Channels, DriverKernelOptions{
 				CommonOptions: cfg.Common,
+				DMI:           cfg.DMI,
+				Coalesce:      cfg.Coalesce,
 			})
 		}
 		return NewDriverKernel(k, cfg.Data, cfg.IRQ, DriverKernelOptions{
 			CommonOptions: cfg.Common,
 			Ports:         cfg.Ports,
+			DMI:           cfg.DMI,
+			Coalesce:      cfg.Coalesce,
 		})
 	}
 	return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)

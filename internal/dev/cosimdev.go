@@ -1,9 +1,28 @@
 package dev
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
+)
+
+// Driver-Kernel wire values the device must recognise to intercept
+// guest frames for DMI windows and to unwrap BATCH envelopes for the
+// guest's frame parser. They mirror internal/core's MsgWrite/MsgRead/
+// MsgData/MsgBatch — dev sits below core in the import graph (core
+// wires platforms to transports), so the constants are restated here,
+// exactly as the guest driver assembly restates them.
+const (
+	cosimMsgWrite = 1
+	cosimMsgRead  = 2
+	cosimMsgData  = 3
+	cosimMsgBatch = 4
+
+	cosimBatchVersion = 1
+	cosimMaxFrame     = 1 << 16
+	cosimMaxBatch     = 1 << 20
 )
 
 // CosimDev register offsets.
@@ -48,6 +67,16 @@ type CosimDev struct {
 	line int
 	name string // "cosim" or "cosim<n>" for CPU n of a multi-processor SoC
 
+	// windows holds the kernel-granted DMI windows by port name. A
+	// flushed guest frame whose port has a valid window is served
+	// locally; everything else goes to the data socket unchanged.
+	windows map[string]*Window
+
+	// decodeBatches makes the data-socket read pump frame-aware so it
+	// can unwrap kernel BATCH envelopes into the ordinary frames the
+	// guest driver's parser expects. Set before ConnectData.
+	decodeBatches bool
+
 	txMessages uint64
 	rxBytes    uint64
 }
@@ -87,27 +116,127 @@ func (d *CosimDev) refresh() {
 
 // ConnectData attaches the data socket. Writes flushed by the guest go
 // to w; bytes arriving on r become readable through CosimRxByte. The
-// read pump runs until r is exhausted.
+// read pump runs until r is exhausted. Reattaching the data socket is a
+// device reconfiguration: every granted DMI window is revoked, so a
+// stale grant can never serve reads that belong on the new connection.
 func (d *CosimDev) ConnectData(r io.Reader, w io.Writer) {
 	d.mu.Lock()
 	d.data = w
+	revoked := takeWindows(&d.windows)
+	frameMode := d.decodeBatches
 	d.mu.Unlock()
+	for _, win := range revoked {
+		win.Revoke()
+	}
+	if frameMode {
+		go d.framePump(r)
+		return
+	}
 	go func() {
 		buf := make([]byte, 4096)
 		for {
 			n, err := r.Read(buf)
 			if n > 0 {
-				d.mu.Lock()
-				d.rx = append(d.rx, buf[:n]...)
-				d.rxBytes += uint64(n)
-				d.refresh()
-				d.mu.Unlock()
+				d.InjectRx(buf[:n])
 			}
 			if err != nil {
 				return
 			}
 		}
 	}()
+}
+
+// takeWindows empties a window map and returns its windows; callers
+// hold the device lock and revoke after releasing it (window locks are
+// never taken under d.mu — the guest hit path orders the other way).
+func takeWindows(m *map[string]*Window) []*Window {
+	if len(*m) == 0 {
+		*m = nil
+		return nil
+	}
+	ws := make([]*Window, 0, len(*m))
+	for _, w := range *m {
+		ws = append(ws, w)
+	}
+	*m = nil
+	return ws
+}
+
+// DecodeBatches switches the data-socket read pump into frame mode:
+// arriving bytes are reassembled into protocol frames and kernel BATCH
+// envelopes are unwrapped, injecting their inner frames verbatim, so
+// the guest driver's one-frame-at-a-time parser never sees an
+// envelope. Call before ConnectData. The kernel side enables it
+// whenever message coalescing is on.
+func (d *CosimDev) DecodeBatches() {
+	d.mu.Lock()
+	d.decodeBatches = true
+	d.mu.Unlock()
+}
+
+// framePump is the frame-aware data-socket read pump: it reassembles
+// size-prefixed frames and flattens BATCH envelopes. A malformed
+// stream stops the pump exactly as a read error does — the guest then
+// blocks on RX, surfacing the broken link instead of parsing garbage.
+func (d *CosimDev) framePump(r io.Reader) {
+	br := bufio.NewReaderSize(r, 4096)
+	le := binary.LittleEndian
+	frame := make([]byte, 0, 4096)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		size := le.Uint32(hdr[:])
+		if size < 4 || size > cosimMaxBatch {
+			return
+		}
+		if cap(frame) < int(size)+4 {
+			frame = make([]byte, 0, int(size)+4)
+		}
+		frame = append(frame[:0], hdr[:]...)
+		frame = frame[:4+size]
+		if _, err := io.ReadFull(br, frame[4:]); err != nil {
+			return
+		}
+		if le.Uint32(frame[4:8]) != cosimMsgBatch {
+			d.InjectRx(frame)
+			continue
+		}
+		if size < 12 || le.Uint32(frame[8:12]) != cosimBatchVersion {
+			return
+		}
+		// The envelope payload is a concatenation of ordinary
+		// size-prefixed frames — exactly the byte stream a non-coalescing
+		// kernel would have written — so it injects verbatim.
+		d.InjectRx(frame[16:])
+	}
+}
+
+// GrantDMIWindow implements DMIGranter: guest frames naming port are
+// served from w when possible. Granting over an existing window
+// revokes the old grant.
+func (d *CosimDev) GrantDMIWindow(port string, w *Window) {
+	d.mu.Lock()
+	if d.windows == nil {
+		d.windows = make(map[string]*Window)
+	}
+	old := d.windows[port]
+	d.windows[port] = w
+	d.mu.Unlock()
+	if old != nil {
+		old.Revoke()
+	}
+}
+
+// RevokeDMIWindows implements DMIGranter.
+func (d *CosimDev) RevokeDMIWindows() {
+	d.mu.Lock()
+	revoked := takeWindows(&d.windows)
+	d.mu.Unlock()
+	for _, w := range revoked {
+		w.Revoke()
+	}
 }
 
 // ConnectIRQ attaches the interrupt socket: every 4-byte little-endian
@@ -148,6 +277,70 @@ func (d *CosimDev) InjectIRQ(id uint32) {
 
 // TxMessages returns how many messages the guest has flushed.
 func (d *CosimDev) TxMessages() uint64 { return d.txMessages }
+
+// parseGuestFrame decodes a driver-composed READ/WRITE frame so the
+// flush path can match it against a granted window. Anything that is
+// not a well-formed, exactly-sized READ or WRITE frame returns !ok and
+// goes to the socket untouched — the window path must never guess.
+func parseGuestFrame(out []byte) (typ, cycles uint32, port, data []byte, ok bool) {
+	le := binary.LittleEndian
+	if len(out) < 16 || int(le.Uint32(out[0:4]))+4 != len(out) {
+		return 0, 0, nil, nil, false
+	}
+	typ = le.Uint32(out[4:8])
+	cycles = le.Uint32(out[8:12])
+	nameLen := int(le.Uint32(out[12:16]))
+	rest := out[16:]
+	if nameLen > len(rest) {
+		return 0, 0, nil, nil, false
+	}
+	port, rest = rest[:nameLen], rest[nameLen:]
+	switch typ {
+	case cosimMsgRead:
+		if len(rest) != 0 {
+			return 0, 0, nil, nil, false
+		}
+		return typ, cycles, port, nil, true
+	case cosimMsgWrite:
+		if len(rest) < 4 {
+			return 0, 0, nil, nil, false
+		}
+		dataLen := int(le.Uint32(rest[0:4]))
+		rest = rest[4:]
+		if dataLen != len(rest) {
+			return 0, 0, nil, nil, false
+		}
+		return typ, cycles, port, rest, true
+	}
+	return 0, 0, nil, nil, false
+}
+
+// serveFromWindow attempts the DMI fast path for one parsed guest
+// frame: a READ is answered by synthesising the DATA reply straight
+// into the receive buffer; a WRITE is staged for the kernel's next
+// reconcile. Returns false on a window miss — the caller falls back to
+// the message path.
+func (d *CosimDev) serveFromWindow(win *Window, typ, cycles uint32, payload []byte) bool {
+	switch typ {
+	case cosimMsgRead:
+		var reply []byte
+		if !win.TryRead(cycles, func(data []byte) {
+			le := binary.LittleEndian
+			reply = make([]byte, 0, 12+len(data))
+			reply = le.AppendUint32(reply, uint32(8+len(data)))
+			reply = le.AppendUint32(reply, cosimMsgData)
+			reply = le.AppendUint32(reply, uint32(len(data)))
+			reply = append(reply, data...)
+		}) {
+			return false
+		}
+		d.InjectRx(reply)
+		return true
+	case cosimMsgWrite:
+		return win.TryWrite(cycles, payload)
+	}
+	return false
+}
 
 // Read implements iss.Device.
 func (d *CosimDev) Read(off uint32, size int) (uint32, error) {
@@ -205,7 +398,20 @@ func (d *CosimDev) Write(off uint32, size int, v uint32) error {
 		d.tx = nil
 		w := d.data
 		d.txMessages++
+		var win *Window
+		var typ, cycles uint32
+		var payload []byte
+		if len(d.windows) > 0 {
+			if t, cyc, port, data, ok := parseGuestFrame(out); ok {
+				if wnd := d.windows[string(port)]; wnd != nil {
+					win, typ, cycles, payload = wnd, t, cyc, data
+				}
+			}
+		}
 		d.mu.Unlock()
+		if win != nil && d.serveFromWindow(win, typ, cycles, payload) {
+			return nil
+		}
 		if w == nil {
 			return fmt.Errorf("%s: flush with no data connection", name)
 		}

@@ -1,0 +1,215 @@
+package dev
+
+import "sync"
+
+// DMI-style direct memory windows (cf. Villa et al., "Fast Dynamic
+// Memory Integration in Co-Simulation Frameworks for MPSoC"): the
+// kernel grants the guest's driver a revocable window into the
+// side-effect-free backing memory of a bound port, so a guest load or
+// store in the granted range becomes a local memory operation — no
+// codec, no transport write, no skew message. Side-effectful registers
+// (PIC, Timer, console control) are never windowed; accesses to them,
+// and any access a window cannot serve, fall back transparently to the
+// READ/WRITE message protocol.
+//
+// A Window is the unit of grant. The kernel side mirrors port state
+// into it (Update) and reconciles guest activity out of it (TakeStaged,
+// TakeReadAck) at its cycle-boundary hooks, so granted-window accesses
+// still couple to lock-step time; the guest side serves accesses from
+// it (TryRead, TryWrite). Revoke invalidates the window permanently —
+// the kernel re-grants a fresh window after reconfiguration.
+
+// Staged-write bounds: a window stops accepting guest stores once this
+// many writes or bytes are pending reconciliation, forcing the
+// overflow onto the message path instead of growing without limit.
+const (
+	maxStagedWrites = 64
+	maxStagedBytes  = 1 << 16
+)
+
+// StagedWrite is one guest store captured by a write window, waiting
+// for the kernel to reconcile it with simulation time.
+type StagedWrite struct {
+	Cycles uint32
+	Data   []byte
+}
+
+// Window is one revocable direct-memory grant over a single bound port.
+// The zero value is unusable; construct with NewWindow. All methods are
+// safe for concurrent use by the guest and kernel threads.
+type Window struct {
+	mu    sync.Mutex
+	port  string
+	valid bool
+
+	// onActivity, set at construction by the kernel, is invoked (outside
+	// the window lock) after every guest-side hit so the kernel's
+	// lock-step wait can wake and reconcile. It must be non-blocking.
+	onActivity func()
+
+	// Read side: the kernel mirrors the backing port's bytes and write
+	// generation here; the guest consumes generations. seq > readSeq
+	// means an unconsumed generation is present.
+	data       []byte
+	seq        uint64
+	readSeq    uint64
+	readCycles uint32
+	readAck    bool
+
+	// Write side: guest stores staged until the kernel reconciles them.
+	staged      []StagedWrite
+	stagedBytes int
+
+	hits, misses, revocations uint64
+}
+
+// NewWindow creates a valid window over port. onActivity may be nil.
+func NewWindow(port string, onActivity func()) *Window {
+	return &Window{port: port, valid: true, onActivity: onActivity}
+}
+
+// Port returns the bound port name the window was granted over.
+func (w *Window) Port() string { return w.port }
+
+// TryRead serves a guest READ of the windowed port at the guest cycle
+// counter cycles. It succeeds only when the window is valid and holds a
+// generation the guest has not consumed yet — a stale re-read falls
+// back to the message path, which always returns the current value.
+// On success sink is called with the mirrored bytes while the window
+// lock is held; sink must only copy (no locks, no blocking). Returns
+// whether the read was served.
+func (w *Window) TryRead(cycles uint32, sink func(data []byte)) bool {
+	w.mu.Lock()
+	if !w.valid || w.seq <= w.readSeq {
+		w.misses++
+		w.mu.Unlock()
+		return false
+	}
+	sink(w.data)
+	w.readSeq = w.seq
+	w.readCycles = cycles
+	w.readAck = true
+	w.hits++
+	fn := w.onActivity
+	w.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// TryWrite stages a guest WRITE of the windowed port. It fails — and
+// the caller falls back to the message path — when the window is
+// revoked or the staging bounds are reached. The data bytes are copied.
+func (w *Window) TryWrite(cycles uint32, data []byte) bool {
+	w.mu.Lock()
+	if !w.valid || len(w.staged) >= maxStagedWrites || w.stagedBytes+len(data) > maxStagedBytes {
+		w.misses++
+		w.mu.Unlock()
+		return false
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	w.staged = append(w.staged, StagedWrite{Cycles: cycles, Data: buf})
+	w.stagedBytes += len(data)
+	w.hits++
+	fn := w.onActivity
+	w.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Update mirrors the backing port's current bytes and write generation
+// into the window (kernel side). It is a no-op on a revoked window.
+func (w *Window) Update(data []byte, seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.valid {
+		return
+	}
+	w.data = append(w.data[:0], data...)
+	w.seq = seq
+}
+
+// SyncConsumed records that the message protocol already delivered
+// generation seq to the guest (a fallback READ was answered by the
+// kernel), so the window will not re-serve it as fresh.
+func (w *Window) SyncConsumed(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq > w.readSeq {
+		w.readSeq = seq
+	}
+}
+
+// TakeStaged moves all staged guest writes out of the window, appending
+// them to dst (kernel side, called at reconcile points).
+func (w *Window) TakeStaged(dst []StagedWrite) []StagedWrite {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dst = append(dst, w.staged...)
+	w.staged = w.staged[:0]
+	w.stagedBytes = 0
+	return dst
+}
+
+// TakeReadAck reports and clears the pending read acknowledgement: the
+// generation the guest last consumed through the window and the guest
+// cycle counter at that access, for lock-step reconciliation.
+func (w *Window) TakeReadAck() (seq uint64, cycles uint32, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.readAck {
+		return 0, 0, false
+	}
+	w.readAck = false
+	return w.readSeq, w.readCycles, true
+}
+
+// HasPending reports whether guest activity (a consumed read
+// generation or staged writes) awaits kernel reconciliation.
+func (w *Window) HasPending() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.readAck || len(w.staged) > 0
+}
+
+// Revoke invalidates the window permanently. Guest accesses after
+// revocation miss and fall back to the message path; staged writes
+// survive for one final reconciliation. Revoking twice counts once.
+func (w *Window) Revoke() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.valid {
+		w.valid = false
+		w.revocations++
+	}
+}
+
+// Valid reports whether the window is still granted.
+func (w *Window) Valid() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.valid
+}
+
+// Counters returns the window's cumulative hit/miss/revocation counts.
+func (w *Window) Counters() (hits, misses, revocations uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hits, w.misses, w.revocations
+}
+
+// DMIGranter is the window grant/revoke surface a guest-side device
+// exposes to the kernel. CosimDev implements it for protocol ports;
+// Platform forwards to its bridge device.
+type DMIGranter interface {
+	// GrantDMIWindow makes the device serve guest accesses to the named
+	// port from w when possible. Granting a port again replaces (and
+	// revokes) the previous window.
+	GrantDMIWindow(port string, w *Window)
+	// RevokeDMIWindows revokes and forgets every granted window.
+	RevokeDMIWindows()
+}

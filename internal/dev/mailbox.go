@@ -1,6 +1,7 @@
 package dev
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 )
@@ -13,27 +14,44 @@ const (
 	MBSize  = 0x0c
 )
 
+// mailboxSide is the per-endpoint state of a mailbox pair: the receive
+// queue, its PIC line, and the optional DMI window mirroring the
+// queue's payload. Both sides share one mutex.
+type mailboxSide struct {
+	queue []uint32
+	pic   *PIC
+	line  int
+
+	// win, when granted, mirrors this side's receive-queue payload so
+	// the kernel (or a windowed observer) can read delivered words
+	// without MMIO. delivered is the mirror's write generation.
+	win       *Window
+	delivered uint64
+}
+
 // Mailbox is one endpoint of a bidirectional inter-processor mailbox —
 // the kind of hardware block a multi-processor SoC uses for doorbells.
 // Words written to MBSend appear in the peer's receive queue and assert
 // the peer's PIC line.
+//
+// The receive queue's payload is side-effect-free backing memory, so it
+// is DMI-eligible: GrantDMIWindow mirrors the queue into a Window on
+// every delivery. Register accesses (MBSend's interrupt side effect,
+// MBRecv's pop) always take the normal MMIO path.
 type Mailbox struct {
-	mu    *sync.Mutex
-	queue *[]uint32 // this side's receive queue
-	peerQ *[]uint32
-	pic   *PIC // this side's PIC (deasserted when queue drains)
-	line  int
-	peerP *PIC
-	peerL int
+	mu   *sync.Mutex
+	self *mailboxSide
+	peer *mailboxSide
 }
 
 // NewMailboxPair creates the two endpoints of a mailbox connecting CPU A
 // (picA/lineA) and CPU B (picB/lineB).
 func NewMailboxPair(picA *PIC, lineA int, picB *PIC, lineB int) (*Mailbox, *Mailbox) {
 	var mu sync.Mutex
-	qa, qb := new([]uint32), new([]uint32)
-	a := &Mailbox{mu: &mu, queue: qa, peerQ: qb, pic: picA, line: lineA, peerP: picB, peerL: lineB}
-	b := &Mailbox{mu: &mu, queue: qb, peerQ: qa, pic: picB, line: lineB, peerP: picA, peerL: lineA}
+	sa := &mailboxSide{pic: picA, line: lineA}
+	sb := &mailboxSide{pic: picB, line: lineB}
+	a := &Mailbox{mu: &mu, self: sa, peer: sb}
+	b := &Mailbox{mu: &mu, self: sb, peer: sa}
 	return a, b
 }
 
@@ -43,23 +61,62 @@ func (m *Mailbox) Name() string { return "mailbox" }
 // Size implements iss.Device.
 func (m *Mailbox) Size() uint32 { return MBSize }
 
+// mirror refreshes a side's window from its queue; callers hold m.mu.
+// The payload image is the queued words in delivery order, little-
+// endian, stamped with the cumulative delivery count as generation.
+func (s *mailboxSide) mirror() {
+	if s.win == nil {
+		return
+	}
+	buf := make([]byte, 0, 4*len(s.queue))
+	for _, v := range s.queue {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	s.win.Update(buf, s.delivered)
+}
+
+// GrantDMIWindow mirrors this endpoint's receive-queue payload into w,
+// starting with the words already queued. Granting again replaces (and
+// revokes) the previous window.
+func (m *Mailbox) GrantDMIWindow(w *Window) {
+	m.mu.Lock()
+	old := m.self.win
+	m.self.win = w
+	m.self.mirror()
+	m.mu.Unlock()
+	if old != nil {
+		old.Revoke()
+	}
+}
+
+// RevokeDMIWindow revokes and detaches this endpoint's window.
+func (m *Mailbox) RevokeDMIWindow() {
+	m.mu.Lock()
+	old := m.self.win
+	m.self.win = nil
+	m.mu.Unlock()
+	if old != nil {
+		old.Revoke()
+	}
+}
+
 // Read implements iss.Device.
 func (m *Mailbox) Read(off uint32, size int) (uint32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch off {
 	case MBRecv:
-		if len(*m.queue) == 0 {
+		if len(m.self.queue) == 0 {
 			return 0, nil
 		}
-		v := (*m.queue)[0]
-		*m.queue = (*m.queue)[1:]
-		if len(*m.queue) == 0 {
-			m.pic.Deassert(m.line)
+		v := m.self.queue[0]
+		m.self.queue = m.self.queue[1:]
+		if len(m.self.queue) == 0 {
+			m.self.pic.Deassert(m.self.line)
 		}
 		return v, nil
 	case MBAvail:
-		return uint32(len(*m.queue)), nil
+		return uint32(len(m.self.queue)), nil
 	default:
 		return 0, fmt.Errorf("mailbox: read of unknown register %#x", off)
 	}
@@ -70,9 +127,12 @@ func (m *Mailbox) Write(off uint32, size int, v uint32) error {
 	switch off {
 	case MBSend:
 		m.mu.Lock()
-		*m.peerQ = append(*m.peerQ, v)
+		m.peer.queue = append(m.peer.queue, v)
+		m.peer.delivered++
+		m.peer.mirror()
+		pic, line := m.peer.pic, m.peer.line
 		m.mu.Unlock()
-		m.peerP.Assert(m.peerL)
+		pic.Assert(line)
 		return nil
 	default:
 		return fmt.Errorf("mailbox: write to unknown register %#x", off)

@@ -82,6 +82,18 @@ func (p *Platform) AttachMailbox(m *Mailbox) {
 	mustMap(p.Bus, MailboxBase, m)
 }
 
+// GrantDMIWindow implements DMIGranter by forwarding to the bridge
+// device: protocol-port windows live on the co-simulation bridge, the
+// platform is the kernel-facing grant surface.
+func (p *Platform) GrantDMIWindow(port string, w *Window) {
+	p.Cosim.GrantDMIWindow(port, w)
+}
+
+// RevokeDMIWindows implements DMIGranter.
+func (p *Platform) RevokeDMIWindows() {
+	p.Cosim.RevokeDMIWindows()
+}
+
 // Run executes up to budget instructions, ticking cycle-driven devices
 // every TickQuantum instructions so timer interrupts track simulated
 // time. It returns the CPU's stop reason and instructions executed.

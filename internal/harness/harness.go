@@ -131,6 +131,16 @@ type Params struct {
 	// -nodecodecache flag.
 	NoDecodeCache bool
 
+	// DMI grants each Driver-Kernel guest direct memory windows over its
+	// bound ports, serving side-effect-free port accesses without a
+	// protocol message (benchtab's -dmi flag). Ignored by GDB schemes.
+	DMI bool
+	// Coalesce batches the Driver-Kernel's kernel->guest messages into
+	// one BATCH envelope per flush point and switches the guest device's
+	// read pump to frame mode (benchtab's -coalesce flag). Ignored by
+	// GDB schemes.
+	Coalesce bool
+
 	// Trace, when set, receives a VCD of router occupancy.
 	Trace io.Writer
 	// Journal, when set, records every co-simulation transfer.
@@ -358,6 +368,12 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 				return nil, err
 			}
 			plat.CPU.Reset(im.Entry)
+			if p.Coalesce {
+				// BATCH envelopes are a host-side framing; the guest
+				// driver parses one frame at a time, so the device's read
+				// pump must unwrap them.
+				plat.Cosim.DecodeBatches()
+			}
 			target, err := core.ConnectDriverTarget(plat, tr)
 			if err != nil {
 				return nil, err
@@ -371,6 +387,7 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 				IRQ:    target.IRQHost,
 				Prefix: portPrefix(n),
 				Ports:  router.DriverPorts(),
+				DMI:    plat,
 			})
 			cpus = append(cpus, plat.CPU)
 		}
@@ -384,6 +401,8 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 				CPUs:      p.CPUs,
 			},
 			Channels: channels,
+			DMI:      p.DMI,
+			Coalesce: p.Coalesce,
 		})
 		if err != nil {
 			return nil, err
@@ -481,6 +500,8 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 		res.CoStats.Polls += st.Polls
 		res.CoStats.Messages += st.Messages
 		res.CoStats.IntsNotified += st.IntsNotified
+		res.CoStats.DMIHits += st.DMIHits
+		res.CoStats.DMIMisses += st.DMIMisses
 		sch.Publish(reg)
 	}
 	for _, cpu := range cpus {

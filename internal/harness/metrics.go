@@ -24,6 +24,10 @@ type Metrics struct {
 	Polls        uint64  `json:"polls"`
 	Stops        uint64  `json:"stops"`
 	IntsNotified uint64  `json:"ints_notified"`
+	DMI          bool    `json:"dmi,omitempty"`
+	Coalesce     bool    `json:"coalesce,omitempty"`
+	DMIHits      uint64  `json:"dmi_hits,omitempty"`
+	DMIMisses    uint64  `json:"dmi_misses,omitempty"`
 	GuestInstr   uint64  `json:"guest_instructions"`
 	GuestCycles  uint64  `json:"guest_cycles"`
 	Generated    uint64  `json:"generated"`
@@ -54,6 +58,10 @@ func (r *Result) Metrics() Metrics {
 		Polls:        r.CoStats.Polls,
 		Stops:        r.CoStats.Stops,
 		IntsNotified: r.CoStats.IntsNotified,
+		DMI:          r.Params.DMI,
+		Coalesce:     r.Params.Coalesce,
+		DMIHits:      r.CoStats.DMIHits,
+		DMIMisses:    r.CoStats.DMIMisses,
 		GuestInstr:   r.GuestInstructions,
 		GuestCycles:  r.GuestCycles,
 		Generated:    r.Generated,

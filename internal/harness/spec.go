@@ -47,6 +47,12 @@ type Spec struct {
 	Seed             int64   `json:"seed,omitempty"`
 
 	NoDecodeCache bool `json:"no_decode_cache,omitempty"`
+
+	// Memory fast path (Driver-Kernel scheme; see README "Memory fast
+	// path"). DMI grants guests direct memory windows over their bound
+	// ports; Coalesce batches kernel->guest messages per flush.
+	DMI      bool `json:"dmi,omitempty"`
+	Coalesce bool `json:"coalesce,omitempty"`
 }
 
 // timeField parses one optional duration field; empty means "default"
@@ -132,6 +138,8 @@ func (s Spec) Params() (Params, error) {
 		PacketsPerSource: s.PacketsPerSource,
 		Seed:             s.Seed,
 		NoDecodeCache:    s.NoDecodeCache,
+		DMI:              s.DMI,
+		Coalesce:         s.Coalesce,
 	}
 	if s.Transport != "" {
 		tr, err := core.ParseTransport(s.Transport)
@@ -185,6 +193,8 @@ func SpecFromParams(p Params) Spec {
 		PacketsPerSource: p.PacketsPerSource,
 		Seed:             p.Seed,
 		NoDecodeCache:    p.NoDecodeCache,
+		DMI:              p.DMI,
+		Coalesce:         p.Coalesce,
 	}
 	if p.Transport != nil {
 		s.Transport = core.TransportName(p.Transport)

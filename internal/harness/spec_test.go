@@ -77,6 +77,7 @@ func TestSpecParamsRoundTrip(t *testing.T) {
 		SimTime: 2 * sim.MS, CPUPeriod: 10 * sim.NS,
 		CPUs: 3, Delay: 5 * sim.US, PayloadWords: 6,
 		ErrorRate: 0.1, FifoDepth: 4, PacketsPerSource: 9, Seed: 11,
+		DMI: true, Coalesce: true,
 	}
 	back, err := SpecFromParams(orig).Params()
 	if err != nil {

@@ -28,11 +28,12 @@ type IssIn struct {
 // breakpoint (GDB-Kernel) or because a READ message asked for it
 // (Driver-Kernel).
 type IssOut struct {
-	k      *Kernel
-	name   string
-	data   []byte
-	ev     *Event
-	writes uint64
+	k       *Kernel
+	name    string
+	data    []byte
+	ev      *Event
+	writes  uint64
+	onWrite func(data []byte, writes uint64)
 }
 
 // ensureIssMaps lazily allocates the registry maps.
@@ -108,6 +109,17 @@ func (p *IssIn) Event() *Event { return p.ev }
 func (p *IssOut) Write(data []byte) {
 	p.data = append(p.data[:0], data...)
 	p.writes++
+	if p.onWrite != nil {
+		p.onWrite(p.data, p.writes)
+	}
+}
+
+// SetOnWrite installs a mirror hook invoked after every Write with the
+// stored payload and the new write count. Co-simulation bridges use it
+// to keep a granted direct-memory window coherent with the port. Like
+// Write itself it runs in kernel context; pass nil to remove the hook.
+func (p *IssOut) SetOnWrite(fn func(data []byte, writes uint64)) {
+	p.onWrite = fn
 }
 
 // WriteUint32 stores a little-endian 32-bit value.

@@ -83,6 +83,23 @@ func Flush(w io.Writer) error {
 	return nil
 }
 
+// BatchRecorder is optionally implemented by endpoints that account for
+// message coalescing (Observed's counted endpoints). A protocol writer
+// that packs n>1 messages into one envelope reports it here so the
+// transport layer can expose coalescing effectiveness without decoding
+// frames itself.
+type BatchRecorder interface {
+	RecordBatch(msgs int)
+}
+
+// RecordBatch reports a coalesced write of msgs messages on w, if w
+// accounts for batches; otherwise it is a no-op.
+func RecordBatch(w io.Writer, msgs int) {
+	if r, ok := w.(BatchRecorder); ok {
+		r.RecordBatch(msgs)
+	}
+}
+
 // The built-in backends. All are stateless handles; the ring backend's
 // listener registry is process-global state behind the handle.
 var (
