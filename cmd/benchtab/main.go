@@ -6,7 +6,7 @@
 //
 //	benchtab -exp table1|figure7|loc|all [-full] [-times 1ms,5ms]
 //	         [-scheme NAME] [-cpus N] [-transport tcp|unix|ring|pipe]
-//	         [-dmi] [-coalesce] [-ablate dmi,coalesce]
+//	         [-dmi] [-coalesce] [-quantum DUR] [-ablate dmi,coalesce,quantum]
 //	         [-parallel N] [-json] [-server URL]
 //
 // -full uses the paper-scale simulated durations (slow); the default
@@ -25,11 +25,16 @@
 // GDB-Wrapper baseline and reports per-run records.
 // -dmi and -coalesce turn on the Driver-Kernel memory fast path (direct
 // memory windows / per-flush message batching; see the README's "Memory
-// fast path" section). -ablate cross-sweeps those axes instead: every
-// driver-kernel scenario runs once per cell of the off/on cross product,
-// tagged /dmi=0|1 and /co=0|1, and the report carries per-run records
-// only — the BENCH_*_dmi.json evidence comes from
-// `-ablate dmi,coalesce -json`.
+// fast path" section). -quantum sets the Driver-Kernel
+// temporal-decoupling quantum (see the README's "Temporal decoupling"
+// section); empty or zero keeps per-cycle lock-step. -ablate
+// cross-sweeps those axes instead: every driver-kernel scenario runs
+// once per cell of the cross product, tagged /dmi=0|1, /co=0|1 and
+// /q=DUR, and the report carries per-run records only — the
+// BENCH_*_dmi.json evidence comes from `-ablate dmi,coalesce -json`,
+// the BENCH_*_quantum.json evidence from `-ablate quantum -json`. The
+// quantum axis sweeps {0, -quantum} when -quantum is set, and a default
+// {0, 1x, 10x} of the 10ns default CPU period otherwise.
 // -parallel runs the experiment sweep on N workers: every run owns its
 // kernel, ISS and sockets, so scheme results are identical to the
 // sequential sweep — only total wall time drops. -json replaces the
@@ -102,7 +107,8 @@ func main() {
 	noDC := flag.Bool("nodecodecache", false, "disable the ISS predecoded-instruction cache (ablation baseline)")
 	dmi := flag.Bool("dmi", false, "grant driver-kernel guests direct memory windows (memory fast path)")
 	coalesce := flag.Bool("coalesce", false, "batch driver-kernel kernel->guest messages into one frame per flush")
-	ablate := flag.String("ablate", "", `cross-sweep memory fast-path axes: "dmi", "coalesce" or "dmi,coalesce"`)
+	quantum := flag.String("quantum", "", "driver-kernel temporal-decoupling quantum (duration; empty or 0 = per-cycle lock-step)")
+	ablate := flag.String("ablate", "", `cross-sweep driver-kernel axes: comma list of "dmi", "coalesce", "quantum"`)
 	serverURL := flag.String("server", "", "drive a running cosimd at this base URL instead of simulating in-process")
 	flag.Parse()
 
@@ -110,16 +116,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	abl, err := parseAblate(*ablate)
-	if err != nil {
-		fatal(err)
-	}
 	// The scalar flags funnel through the wire-form Spec — the same
 	// validated request shape a cosimd session POST carries. benchtab
 	// sweeps schemes itself, so the base spec carries a placeholder
 	// scheme that every scenario overwrites.
-	baseSpec := harness.Spec{Scheme: "gdb-kernel", Delay: *delay, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC, DMI: *dmi, Coalesce: *coalesce}
+	baseSpec := harness.Spec{Scheme: "gdb-kernel", Delay: *delay, Seed: *seed, CPUs: *cpus, NoDecodeCache: *noDC, DMI: *dmi, Coalesce: *coalesce, Quantum: *quantum}
 	base, err := baseSpec.Params()
+	if err != nil {
+		fatal(err)
+	}
+	// The quantum ablation axis sweeps {lock-step, -quantum} when a
+	// quantum was given, so the flag and the axis compose.
+	abl, err := parseAblate(*ablate, base.Quantum)
 	if err != nil {
 		fatal(err)
 	}
@@ -222,15 +230,23 @@ func parseTransports(arg string) ([]core.Transport, error) {
 	return trs, nil
 }
 
-// ablation names the memory fast-path axes a sweep cross-multiplies
-// (the -ablate flag).
-type ablation struct{ dmi, coalesce bool }
+// ablation names the driver-kernel axes a sweep cross-multiplies (the
+// -ablate flag): the memory fast path's dmi/coalesce booleans and the
+// temporal-decoupling quantum cells.
+type ablation struct {
+	dmi, coalesce bool
+	quantum       []sim.Time // quantum axis cells; empty = axis off
+}
 
-func (a ablation) active() bool { return a.dmi || a.coalesce }
+func (a ablation) active() bool { return a.dmi || a.coalesce || len(a.quantum) > 0 }
 
 // parseAblate resolves the -ablate flag value: a comma list of axis
-// names ("dmi", "coalesce"; "co" is accepted for the latter).
-func parseAblate(arg string) (ablation, error) {
+// names ("dmi", "coalesce", "quantum"; "co" and "q" are accepted short
+// forms). The quantum axis sweeps {0, quantum} when the -quantum flag
+// supplies a non-zero value, and {0, 1x, 10x} of the 10ns default CPU
+// period otherwise — the 10x cell is the regime where temporal
+// decoupling should pay off.
+func parseAblate(arg string, quantum sim.Time) (ablation, error) {
 	var a ablation
 	if strings.TrimSpace(arg) == "" {
 		return a, nil
@@ -241,17 +257,24 @@ func parseAblate(arg string) (ablation, error) {
 			a.dmi = true
 		case "coalesce", "co":
 			a.coalesce = true
+		case "quantum", "q":
+			if quantum > 0 {
+				a.quantum = []sim.Time{0, quantum}
+			} else {
+				a.quantum = []sim.Time{0, 10 * sim.NS, 100 * sim.NS}
+			}
 		default:
-			return a, fmt.Errorf("unknown -ablate axis %q (want dmi, coalesce)", f)
+			return a, fmt.Errorf("unknown -ablate axis %q (want dmi, coalesce, quantum)", f)
 		}
 	}
 	return a, nil
 }
 
 // expand cross-multiplies every driver-kernel scenario over the active
-// ablation axes, tagging each cell /dmi=0|1 and /co=0|1. Schemes that
-// ignore the memory fast path keep their single base cell: re-running
-// them per cell would only duplicate identical measurements.
+// ablation axes, tagging each cell /dmi=0|1, /co=0|1 and /q=DUR.
+// Schemes that ignore the memory fast path and temporal decoupling keep
+// their single base cell: re-running them per cell would only duplicate
+// identical measurements.
 func (a ablation) expand(scens []harness.Scenario) []harness.Scenario {
 	if !a.active() {
 		return scens
@@ -268,22 +291,41 @@ func (a ablation) expand(scens []harness.Scenario) []harness.Scenario {
 			out = append(out, sc)
 			continue
 		}
+		qcells := a.quantum
+		if len(qcells) == 0 {
+			qcells = []sim.Time{sc.Params.Quantum}
+		}
 		for _, dv := range onOff(a.dmi, sc.Params.DMI) {
 			for _, cv := range onOff(a.coalesce, sc.Params.Coalesce) {
-				cell := sc
-				cell.Params.DMI = dv
-				cell.Params.Coalesce = cv
-				if a.dmi {
-					cell.Name += fmt.Sprintf("/dmi=%d", b2i(dv))
+				for _, qv := range qcells {
+					cell := sc
+					cell.Params.DMI = dv
+					cell.Params.Coalesce = cv
+					cell.Params.Quantum = qv
+					if a.dmi {
+						cell.Name += fmt.Sprintf("/dmi=%d", b2i(dv))
+					}
+					if a.coalesce {
+						cell.Name += fmt.Sprintf("/co=%d", b2i(cv))
+					}
+					if len(a.quantum) > 0 {
+						cell.Name += "/q=" + qtag(qv)
+					}
+					out = append(out, cell)
 				}
-				if a.coalesce {
-					cell.Name += fmt.Sprintf("/co=%d", b2i(cv))
-				}
-				out = append(out, cell)
 			}
 		}
 	}
 	return out
+}
+
+// qtag renders a quantum cell's duration for the /q=DUR scenario tag;
+// the lock-step cell reads /q=0.
+func qtag(q sim.Time) string {
+	if q == 0 {
+		return "0"
+	}
+	return q.String()
 }
 
 func b2i(b bool) int {

@@ -108,6 +108,13 @@ type Params struct {
 	// in-flight ISS interaction (default 1us; see core). Zero =
 	// free-running.
 	SkewBound sim.Time
+	// Quantum temporally decouples the Driver-Kernel scheme: each guest
+	// may run ahead of kernel time by up to this much, with conservative
+	// synchronization only at quantum boundaries and on early-sync
+	// breaks (port access, interrupt delivery, DMI revocation). It also
+	// enables the kernel's sharded cluster evaluation. Zero (the
+	// default) keeps per-cycle lock-step. Ignored by GDB schemes.
+	Quantum sim.Time
 	// InstrPerCycle is the GDB-Wrapper lock-step quantum (default 8).
 	InstrPerCycle uint64
 	// CPUs is the number of checksum processors servicing the router in
@@ -266,6 +273,13 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 	// run's registry records per-backend pair and byte counters.
 	tr := core.ObservedTransport(p.Transport, reg)
 	k := sim.NewKernel("soc")
+	if p.Quantum > 0 {
+		// Temporal decoupling pairs with sharded cluster evaluation: the
+		// decoupled kernel spends more consecutive cycles in pure model
+		// work, which the sharded evaluation phases spread across worker
+		// goroutines (merged deterministically; see sim/cluster.go).
+		k.EnableSharding(true)
+	}
 	clk := sim.NewClock(k, "clk", p.ClockPeriod)
 	if done := ctx.Done(); done != nil {
 		// Cooperative cancellation: one non-blocking poll per simulation
@@ -331,6 +345,7 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 				Common: core.CommonOptions{
 					CPUPeriod: p.CPUPeriod,
 					SkewBound: p.SkewBound,
+					Quantum:   p.Quantum,
 					Journal:   p.Journal,
 					Obs:       reg,
 				},
@@ -396,6 +411,7 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 			Common: core.CommonOptions{
 				CPUPeriod: p.CPUPeriod,
 				SkewBound: p.SkewBound,
+				Quantum:   p.Quantum,
 				Journal:   p.Journal,
 				Obs:       reg,
 				CPUs:      p.CPUs,
@@ -502,6 +518,8 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 		res.CoStats.IntsNotified += st.IntsNotified
 		res.CoStats.DMIHits += st.DMIHits
 		res.CoStats.DMIMisses += st.DMIMisses
+		res.CoStats.QuantumSyncs += st.QuantumSyncs
+		res.CoStats.QuantumBreaks += st.QuantumBreaks
 		sch.Publish(reg)
 	}
 	for _, cpu := range cpus {

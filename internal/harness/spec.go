@@ -53,10 +53,21 @@ type Spec struct {
 	// ports; Coalesce batches kernel->guest messages per flush.
 	DMI      bool `json:"dmi,omitempty"`
 	Coalesce bool `json:"coalesce,omitempty"`
+
+	// Quantum temporally decouples the Driver-Kernel scheme (see the
+	// README's "Temporal decoupling" section): guests sync with kernel
+	// time only at quantum boundaries or on an early-sync break. Empty
+	// or zero keeps per-cycle lock-step (the default, which for this
+	// field is also the meaningful zero value).
+	Quantum string `json:"quantum,omitempty"`
 }
 
-// timeField parses one optional duration field; empty means "default"
-// and decodes to zero.
+// timeField parses one optional duration field. Empty decodes to zero,
+// meaning "use the run default"; so does any explicit zero spelling
+// ("0", "0ns", ...), which Params.withDefaults cannot tell apart from
+// an omitted field. SpecFromParams re-encodes both as the omitted form,
+// so one round trip canonicalises every zero spelling to empty and a
+// second trip is the identity.
 func timeField(name, v string) (sim.Time, error) {
 	if v == "" {
 		return 0, nil
@@ -96,7 +107,7 @@ func (s Spec) Validate() error {
 	for _, f := range []struct{ name, v string }{
 		{"sim_time", s.SimTime}, {"clock_period", s.ClockPeriod},
 		{"cpu_period", s.CPUPeriod}, {"skew_bound", s.SkewBound},
-		{"delay", s.Delay},
+		{"delay", s.Delay}, {"quantum", s.Quantum},
 	} {
 		if _, err := timeField(f.name, f.v); err != nil {
 			return err
@@ -164,6 +175,9 @@ func (s Spec) Params() (Params, error) {
 	if p.Delay, err = timeField("delay", s.Delay); err != nil {
 		return Params{}, err
 	}
+	if p.Quantum, err = timeField("quantum", s.Quantum); err != nil {
+		return Params{}, err
+	}
 	return p, nil
 }
 
@@ -195,6 +209,7 @@ func SpecFromParams(p Params) Spec {
 		NoDecodeCache:    p.NoDecodeCache,
 		DMI:              p.DMI,
 		Coalesce:         p.Coalesce,
+		Quantum:          timeStr(p.Quantum),
 	}
 	if p.Transport != nil {
 		s.Transport = core.TransportName(p.Transport)

@@ -29,6 +29,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		PacketsPerSource: 100,
 		Seed:             42,
 		NoDecodeCache:    true,
+		Quantum:          "100ns",
 	}
 	data, err := json.Marshal(orig)
 	if err != nil {
@@ -77,7 +78,7 @@ func TestSpecParamsRoundTrip(t *testing.T) {
 		SimTime: 2 * sim.MS, CPUPeriod: 10 * sim.NS,
 		CPUs: 3, Delay: 5 * sim.US, PayloadWords: 6,
 		ErrorRate: 0.1, FifoDepth: 4, PacketsPerSource: 9, Seed: 11,
-		DMI: true, Coalesce: true,
+		DMI: true, Coalesce: true, Quantum: 100 * sim.NS,
 	}
 	back, err := SpecFromParams(orig).Params()
 	if err != nil {
@@ -117,6 +118,44 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := (Spec{Scheme: "driver-kernel"}).Validate(); err != nil {
 		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+// TestSpecZeroDurationCanonicalises pins the zero-spelling contract:
+// every explicit zero duration ("0", "0ns", ...) is accepted, decodes
+// to the zero value (meaning "use the run default", same as omitting
+// the field), and one Spec -> Params -> Spec trip canonicalises it to
+// the omitted form — after which the round trip is the identity.
+func TestSpecZeroDurationCanonicalises(t *testing.T) {
+	for _, zero := range []string{"0", "0ps", "0ns", "0us", "0ms", "0s"} {
+		spec := Spec{
+			Scheme:  "driver-kernel",
+			SimTime: zero, ClockPeriod: zero, CPUPeriod: zero,
+			SkewBound: zero, Delay: zero, Quantum: zero,
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("zero spelling %q rejected: %v", zero, err)
+		}
+		p, err := spec.Params()
+		if err != nil {
+			t.Fatalf("zero spelling %q: %v", zero, err)
+		}
+		if p.SimTime != 0 || p.ClockPeriod != 0 || p.CPUPeriod != 0 ||
+			p.SkewBound != 0 || p.Delay != 0 || p.Quantum != 0 {
+			t.Fatalf("zero spelling %q materialised non-zero: %+v", zero, p)
+		}
+		canon := SpecFromParams(p)
+		if canon.SimTime != "" || canon.ClockPeriod != "" || canon.CPUPeriod != "" ||
+			canon.SkewBound != "" || canon.Delay != "" || canon.Quantum != "" {
+			t.Fatalf("zero spelling %q did not canonicalise to omitted: %+v", zero, canon)
+		}
+		p2, err := canon.Params()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(SpecFromParams(p2), canon) {
+			t.Fatalf("canonical form is not a round-trip fixed point: %+v", canon)
+		}
 	}
 }
 

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements temporally-decoupled evaluation sharding: method
+// processes whose static sensitivity graphs do not overlap form
+// independent module clusters, and an evaluation phase whose runnable
+// set spans several clusters may run those clusters on parallel worker
+// goroutines. Rounds are barrier-only: each worker drains exactly the
+// runnable processes it was handed at round start, and every
+// kernel-global side effect a process performs (event notification or
+// cancellation, timed-queue scheduling, update-phase registration,
+// CallAt) is not applied in place but recorded in a shared deferred log
+// and replayed serially at the merge barrier. Processes a merge makes
+// runnable execute in the next round (or serially, if only one cluster
+// remains), still within the same evaluation phase.
+//
+// Determinism contract (DESIGN.md §5.11):
+//   - Within a round, a worker only reads and writes model objects of
+//     its own cluster. Objects shared across clusters (a FIFO written by
+//     one module and read by another) must not be touched by two
+//     clusters within a single round; the stock models satisfy this
+//     because cross-module producers are thread processes, which never
+//     run in sharded rounds.
+//   - The deferred log is replayed at the merge barrier sorted by the
+//     owning event's registration index, then by the event's op
+//     sequence. A given event must collect deferred operations from at
+//     most one cluster per round (single toucher), which makes its
+//     sequence — and hence the replay order — independent of goroutine
+//     scheduling. SystemC's notification override rules (immediate
+//     always fires, delta beats timed, earlier timed beats later) make
+//     the replayed outcome converge to the serial one.
+//   - Event.Pending and k.Now observed inside a round reflect the state
+//     at the start of the round; time never advances mid-phase, so
+//     replaying a NotifyAt at the merge is equivalent to applying it
+//     inline.
+//   - The CallAt dispatcher is serial-only: its deferred closures
+//     deliver data into arbitrary foreign objects (ISS ports), so any
+//     phase in which it is runnable is evaluated serially.
+
+// shard is the per-cluster execution state of one sharded round: the
+// queue of processes handed to the worker at round start.
+type shard struct {
+	runnable    []*Proc
+	activations uint64
+}
+
+// deferredOp is one deferred kernel-global effect, keyed for the
+// deterministic merge sort.
+type deferredOp struct {
+	regIdx int32  // owning event's registration index
+	seq    uint32 // per-event op sequence (single toucher per round)
+	fn     func()
+}
+
+// shardRound is one sharded evaluation round: the per-cluster shards
+// plus the shared (mutex-guarded) deferred log and panic slot.
+type shardRound struct {
+	k      *Kernel
+	shards []*shard // indexed by cluster id; nil = cluster not runnable
+
+	mu      sync.Mutex
+	ops     []deferredOp
+	panicV  any
+	panicee bool
+}
+
+// deferOp records fn for replay at the merge barrier under the owning
+// event's (registration index, op sequence) key. The sequence is
+// assigned under the log mutex; it is deterministic as long as a single
+// cluster touches the event within the round.
+func (r *shardRound) deferOp(owner *Event, fn func()) {
+	r.mu.Lock()
+	owner.opSeq++
+	r.ops = append(r.ops, deferredOp{regIdx: owner.regIdx, seq: owner.opSeq, fn: fn})
+	r.mu.Unlock()
+}
+
+// EnableSharding turns sharded evaluation on or off. With sharding on,
+// Run partitions method processes into sensitivity clusters and
+// evaluates multi-cluster phases on parallel workers; thread processes
+// and single-cluster phases always run serially. The default is off
+// (fully serial evaluation).
+func (k *Kernel) EnableSharding(on bool) {
+	k.shardEnabled = on
+	if on {
+		k.clustersDirty = true
+	}
+}
+
+// ShardingEnabled reports whether sharded evaluation is on.
+func (k *Kernel) ShardingEnabled() bool { return k.shardEnabled }
+
+// ClusterCount returns the number of sensitivity clusters discovered by
+// the last computation (0 before the first sharded Run).
+func (k *Kernel) ClusterCount() int { return k.clusterCount }
+
+// ClusterMerges returns the number of sharded evaluation rounds merged
+// so far.
+func (k *Kernel) ClusterMerges() uint64 { return k.clusterMerges }
+
+// computeClusters discovers module clusters from the static sensitivity
+// graph: method (and iss) processes sharing a static event are unioned;
+// each event inherits the cluster of its static processes (uniform by
+// construction) or stays unclustered. Cluster ids are dense and ordered
+// by first-process registration order, so discovery is deterministic.
+func (k *Kernel) computeClusters() {
+	k.clustersDirty = false
+	// The CallAt dispatcher must exist before any round can defer to it.
+	k.ensureCallAt()
+
+	parent := make([]int, len(k.procs))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+
+	firstOn := make(map[*Event]int)
+	for i, p := range k.procs {
+		p.cluster = -1
+		if p.kind == threadProc {
+			continue
+		}
+		for _, e := range p.static {
+			if j, ok := firstOn[e]; ok {
+				union(i, j)
+			} else {
+				firstOn[e] = i
+			}
+		}
+	}
+
+	next := int32(0)
+	ids := make(map[int]int32)
+	for i, p := range k.procs {
+		if p.kind == threadProc {
+			continue
+		}
+		root := find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = next
+			next++
+			ids[root] = id
+		}
+		p.cluster = id
+	}
+	k.clusterCount = int(next)
+
+	for _, e := range k.events {
+		e.cluster = -1
+		for _, p := range e.static {
+			if p.kind != threadProc {
+				e.cluster = p.cluster
+				break
+			}
+		}
+	}
+}
+
+// tryShardRound runs one sharded evaluation round if the current
+// runnable set is eligible: every runnable process is a clustered,
+// shardable method, and at least two distinct clusters are represented.
+// It reports whether a round ran (the caller re-checks the global
+// queue, which the merge may have refilled).
+func (k *Kernel) tryShardRound() bool {
+	first := int32(-1)
+	multi := false
+	for _, p := range k.runnable {
+		if p.kind == threadProc || p.cluster < 0 || p.serialOnly {
+			return false
+		}
+		if first < 0 {
+			first = p.cluster
+		} else if p.cluster != first {
+			multi = true
+		}
+	}
+	if !multi {
+		return false
+	}
+
+	r := &shardRound{k: k, shards: make([]*shard, k.clusterCount)}
+	for _, p := range k.runnable {
+		s := r.shards[p.cluster]
+		if s == nil {
+			s = &shard{}
+			r.shards[p.cluster] = s
+		}
+		s.runnable = append(s.runnable, p)
+	}
+	k.runnable = k.runnable[:0]
+
+	k.round = r
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		if s == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					r.mu.Lock()
+					if !r.panicee {
+						r.panicee, r.panicV = true, p
+					}
+					r.mu.Unlock()
+				}
+			}()
+			for _, p := range s.runnable {
+				p.runnable = false
+				s.activations++
+				p.fn()
+			}
+		}(s)
+	}
+	wg.Wait()
+	k.round = nil
+	if r.panicee {
+		panic(r.panicV)
+	}
+
+	// Merge barrier: replay the deferred log serially in (registration
+	// index, per-event sequence) order.
+	for _, s := range r.shards {
+		if s == nil {
+			continue
+		}
+		k.activations += s.activations
+	}
+	sort.Slice(r.ops, func(i, j int) bool {
+		a, b := r.ops[i], r.ops[j]
+		if a.regIdx != b.regIdx {
+			return a.regIdx < b.regIdx
+		}
+		return a.seq < b.seq
+	})
+	for _, op := range r.ops {
+		op.fn()
+	}
+	k.clusterMerges++
+	return true
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterDiscovery pins the union-find: methods sharing a static
+// event merge into one cluster, disjoint methods get their own, threads
+// stay unclustered, and the counts are stable across recomputation.
+func TestClusterDiscovery(t *testing.T) {
+	k := NewKernel("cd")
+	defer k.Shutdown()
+	e1, e2, e3 := k.NewEvent("e1"), k.NewEvent("e2"), k.NewEvent("e3")
+	a := k.MethodNoInit("a", func() {}, e1, e2)
+	b := k.MethodNoInit("b", func() {}, e2)
+	c := k.MethodNoInit("c", func() {}, e3)
+	th := k.Thread("t", func(ctx *Ctx) {})
+	k.EnableSharding(true)
+	if err := k.Run(NS); err != nil && err != ErrDeadlock {
+		t.Fatal(err)
+	}
+	// {a,b} via shared e2, {c}, plus the CallAt dispatcher's own cluster.
+	if got := k.ClusterCount(); got != 3 {
+		t.Fatalf("ClusterCount = %d, want 3", got)
+	}
+	if a.cluster != b.cluster {
+		t.Fatalf("a and b share e2 but have clusters %d and %d", a.cluster, b.cluster)
+	}
+	if c.cluster == a.cluster {
+		t.Fatal("c shares no event with a but landed in its cluster")
+	}
+	if th.cluster != -1 {
+		t.Fatalf("thread cluster = %d, want -1", th.cluster)
+	}
+	if e2.cluster != a.cluster || e3.cluster != c.cluster {
+		t.Fatalf("events did not inherit their statics' clusters: e2=%d e3=%d", e2.cluster, e3.cluster)
+	}
+}
+
+// TestShardedRoundRuns co-fires methods in distinct clusters at the
+// same instant and checks that sharded rounds actually merge, every
+// process runs the right number of times, and disabling sharding keeps
+// the same outcome with zero merges.
+func TestShardedRoundRuns(t *testing.T) {
+	for _, shard := range []bool{true, false} {
+		k := NewKernel("sr")
+		k.EnableSharding(shard)
+		const n = 4
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			e := k.NewEvent("e")
+			k.MethodNoInit("m", func() {
+				counts[i]++
+				if counts[i] < 10 {
+					e.NotifyAfter(10 * NS)
+				}
+			}, e)
+			e.NotifyAfter(10 * NS)
+		}
+		if err := k.Run(MaxTime); err != nil && err != ErrDeadlock {
+			t.Fatal(err)
+		}
+		for i, got := range counts {
+			if got != 10 {
+				t.Fatalf("shard=%v: proc %d ran %d times, want 10", shard, i, got)
+			}
+		}
+		if merges := k.ClusterMerges(); shard && merges == 0 {
+			t.Fatal("no sharded rounds merged for co-firing disjoint clusters")
+		} else if !shard && merges != 0 {
+			t.Fatalf("serial kernel reported %d merges", merges)
+		}
+		k.Shutdown()
+	}
+}
+
+// TestShardedPanicPropagates: a panic inside a sharded worker must
+// surface from Run like a serial process panic would, after the round
+// barrier (so no goroutines are left running).
+func TestShardedPanicPropagates(t *testing.T) {
+	k := NewKernel("sp")
+	defer k.Shutdown()
+	k.EnableSharding(true)
+	for i := 0; i < 2; i++ {
+		i := i
+		e := k.NewEvent("e")
+		k.MethodNoInit("m", func() {
+			if i == 1 {
+				panic("boom in shard")
+			}
+		}, e)
+		e.NotifyAfter(10 * NS)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate out of Run")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom in shard") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	_ = k.Run(US)
+}
+
+// TestSerialOnlyDispatcherBlocksRound: a phase in which the CallAt
+// dispatcher is runnable is evaluated serially even when other clusters
+// co-fire, because its closures may touch foreign objects.
+func TestSerialOnlyDispatcherBlocksRound(t *testing.T) {
+	k := NewKernel("so")
+	defer k.Shutdown()
+	k.EnableSharding(true)
+	ran := 0
+	for i := 0; i < 2; i++ {
+		e := k.NewEvent("e")
+		k.MethodNoInit("m", func() { ran++ }, e)
+		e.NotifyAfter(10 * NS)
+	}
+	called := false
+	k.CallAt(10*NS, func() { called = true })
+	if err := k.Run(US); err != nil && err != ErrDeadlock {
+		t.Fatal(err)
+	}
+	if ran != 2 || !called {
+		t.Fatalf("ran=%d called=%v", ran, called)
+	}
+	if merges := k.ClusterMerges(); merges != 0 {
+		t.Fatalf("dispatcher phase was sharded anyway (%d merges)", merges)
+	}
+}

@@ -39,8 +39,10 @@ type Proc struct {
 	timeout   *Event // private timeout event for WaitTime / WaitTimeout
 	wake      *Event // the event that woke the last Wait, nil on timeout
 
-	runnable bool // already queued in the current evaluation phase
-	ctx      *Ctx
+	runnable   bool  // already queued in the current evaluation phase
+	cluster    int32 // sensitivity cluster (cluster.go); -1 = unclustered
+	serialOnly bool  // never run in a sharded round (CallAt dispatcher)
+	ctx        *Ctx
 }
 
 // Name returns the process name.
@@ -65,7 +67,7 @@ func (c *Ctx) Now() Time { return c.p.k.now }
 // the given events. Like SC_METHOD, it is run once at the start of
 // simulation and then each time a sensitive event triggers.
 func (k *Kernel) Method(name string, fn func(), sensitivity ...*Event) *Proc {
-	p := &Proc{k: k, name: name, kind: methodProc, fn: fn}
+	p := &Proc{k: k, name: name, kind: methodProc, fn: fn, cluster: -1}
 	k.register(p, sensitivity)
 	return p
 }
@@ -84,7 +86,7 @@ func (k *Kernel) MethodNoInit(name string, fn func(), sensitivity ...*Event) *Pr
 // needed between processes.
 func (k *Kernel) Thread(name string, body func(*Ctx)) *Proc {
 	p := &Proc{k: k, name: name, kind: threadProc, body: body,
-		resume: make(chan struct{})}
+		cluster: -1, resume: make(chan struct{})}
 	p.ctx = &Ctx{p: p}
 	k.register(p, nil)
 	return p
@@ -101,6 +103,7 @@ func (k *Kernel) register(p *Proc, sensitivity []*Event) {
 		p.static = append(p.static, e)
 	}
 	k.procs = append(k.procs, p)
+	k.clustersDirty = true
 	k.makeRunnable(p)
 }
 
