@@ -75,6 +75,7 @@ percpu)
 transports)
   want=${TRANSPORTS:-tcp unix ring}
   jqe '.runs | length > 0' "report has no runs"
+  # shellcheck disable=SC2086  # word splitting over the transport list is the point
   for tr in $want; do
     jqe "[.runs[] | select(.transport == \"$tr\")] | length > 0" \
       "no runs recorded for transport $tr"
@@ -136,6 +137,15 @@ quantum)
          | all" \
       "aggregate driver.$metric does not equal the per-CPU sum"
   done
+  # Decoupling enables sharded cluster evaluation, and the method-style
+  # forwarding engines give it a multi-cluster topology to engage on:
+  # every decoupled cell must have executed sharded rounds.
+  jqe '[.runs[] | select(.quantum != null)
+        | (.counters["sim.cluster_merges"] // 0) > 0] | all' \
+    "decoupled cells recorded no sharded cluster merges"
+  jqe '[.runs[] | select(.quantum == null)
+        | (.counters["sim.cluster_merges"] // 0) == 0] | all' \
+    "lock-step cell recorded sharded cluster merges"
   ;;
 
 *)

@@ -1,7 +1,7 @@
 // Command cosimvet runs the repository's domain-specific static
 // analyzers (poolsafe, timesafe, obsnames, schemeerr, lockedfield,
-// transportclose, ctxfirst) over module packages and exits non-zero if
-// any rule fires.
+// transportclose, ctxfirst, and the interprocedural lockorder, shardfx,
+// detsafe) over module packages and exits non-zero if any rule fires.
 //
 // Usage:
 //
@@ -16,6 +16,12 @@
 //
 //	-list          print the analyzers and their docs, then exit
 //	-run name,...  run only the named analyzers
+//	-json          print findings as a JSON array on stdout
+//
+// In -json mode every finding becomes an object with file, line, col,
+// message, analyzer, and package fields; the array is printed even when
+// empty so consumers can parse unconditionally. Exit codes are the same
+// as in plain mode (1 = findings, 2 = usage or load error).
 //
 // Individual findings can be suppressed with a trailing or preceding
 // comment:
@@ -25,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +42,20 @@ import (
 	"cosim/internal/analysis/suite"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "print the analyzers and their docs, then exit")
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "print findings as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := suite.Analyzers()
@@ -67,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	findings := []finding{}
 	for _, p := range pkgs {
 		loaded, err := analysis.LoadDir(p.Dir, p.ImportPath)
 		if err != nil {
@@ -81,12 +99,29 @@ func main() {
 		}
 		for _, d := range diags {
 			pos := loaded.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
-			findings++
+			findings = append(findings, finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+				Package:  p.ImportPath,
+			})
+			if !*jsonFlag {
+				fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "cosimvet: %d finding(s)\n", findings)
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "cosimvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cosimvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

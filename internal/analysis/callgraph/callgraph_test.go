@@ -1,0 +1,148 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosim/internal/analysis"
+	"cosim/internal/analysis/callgraph"
+)
+
+func buildSynth(t *testing.T) (*analysis.Pass, *callgraph.Graph) {
+	t.Helper()
+	pkg, err := analysis.LoadDir("testdata/src/synth", "fixture/synth")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+	}
+	return pass, callgraph.Build(pass)
+}
+
+func node(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not found", name)
+	return nil
+}
+
+func callees(n *callgraph.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Calls {
+		out[e.Callee.Name] = true
+	}
+	return out
+}
+
+func TestDirectChainAndTransitiveAcquires(t *testing.T) {
+	_, g := buildSynth(t)
+	outer := node(t, g, "Outer")
+	if !callees(outer)["middle"] {
+		t.Fatalf("Outer should call middle; calls = %v", callees(outer))
+	}
+	acq := g.TransitiveAcquires(outer)
+	var found bool
+	for cls, path := range acq {
+		if cls.Matches("fixture/synth", "S", "mu") {
+			found = true
+			var names []string
+			for _, n := range path {
+				names = append(names, n.Name)
+			}
+			want := "Outer -> middle -> S.acquire"
+			if got := strings.Join(names, " -> "); got != want {
+				t.Errorf("acquisition path = %q, want %q", got, want)
+			}
+			if cls.String() != "synth.S.mu" {
+				t.Errorf("class string = %q, want synth.S.mu", cls.String())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("Outer does not transitively acquire S.mu; got %v", acq)
+	}
+}
+
+func TestInterfaceDispatchOverApproximates(t *testing.T) {
+	_, g := buildSynth(t)
+	d := node(t, g, "Dispatch")
+	got := callees(d)
+	if !got["fast.Step"] || !got["slow.Step"] {
+		t.Errorf("Dispatch should over-approximate to both Step methods; got %v", got)
+	}
+	for _, e := range d.Calls {
+		if !e.Dynamic {
+			t.Errorf("interface edge to %s should be marked dynamic", e.Callee.Name)
+		}
+	}
+	if _, ok := g.TransitiveAcquires(d)[classOf(t, g, "S", "mu")]; !ok {
+		t.Errorf("Dispatch should transitively acquire S.mu through fast.Step")
+	}
+}
+
+func TestFuncValueBindings(t *testing.T) {
+	_, g := buildSynth(t)
+	// Field binding: hooks.onFire was bound to (*S).acquire, so Fire
+	// gets a dynamic edge to it.
+	fire := node(t, g, "hooks.Fire")
+	if !callees(fire)["S.acquire"] {
+		t.Errorf("hooks.Fire should resolve onFire to S.acquire; got %v", callees(fire))
+	}
+	// Parameter binding: apply's f was bound to the literal passed by
+	// Indirect, which in turn calls acquire.
+	if _, ok := g.TransitiveAcquires(node(t, g, "Indirect"))[classOf(t, g, "S", "mu")]; !ok {
+		t.Errorf("Indirect should transitively acquire S.mu through apply(f)")
+	}
+}
+
+func TestLockEventSummaries(t *testing.T) {
+	_, g := buildSynth(t)
+	acq := node(t, g, "S.acquire")
+	if len(acq.Locks) != 2 || acq.Locks[0].Release || !acq.Locks[1].Release {
+		t.Fatalf("S.acquire lock events = %+v, want Lock then Unlock", acq.Locks)
+	}
+	def := node(t, g, "S.deferred")
+	if len(def.Locks) != 2 || !def.Locks[1].Defer {
+		t.Fatalf("S.deferred should record a deferred Unlock; got %+v", def.Locks)
+	}
+	rd := node(t, g, "readPkg")
+	if len(rd.Locks) != 2 || !rd.Locks[0].Read || rd.Locks[0].Class.Type != "" || rd.Locks[0].Class.Field != "pkgMu" {
+		t.Fatalf("readPkg should record RLock on package-level pkgMu; got %+v", rd.Locks)
+	}
+}
+
+func TestGuardedClassesSeed(t *testing.T) {
+	pass, g := buildSynth(t)
+	_ = g
+	guarded := callgraph.GuardedClasses(pass)
+	var found bool
+	for cls := range guarded {
+		if cls.Matches("fixture/synth", "S", "mu") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("guarded-by annotation on S.state should seed class S.mu; got %v", guarded)
+	}
+}
+
+func classOf(t *testing.T, g *callgraph.Graph, typeName, field string) callgraph.Class {
+	t.Helper()
+	for _, n := range g.Nodes {
+		for _, ev := range n.Locks {
+			if ev.Class.Type == typeName && ev.Class.Field == field {
+				return ev.Class
+			}
+		}
+	}
+	t.Fatalf("no lock event on %s.%s found", typeName, field)
+	return callgraph.Class{}
+}

@@ -1,0 +1,63 @@
+// Package synth exercises every call-edge resolution mode of the
+// callgraph package: direct calls, interface dispatch, function-typed
+// fields, parameters, and lock-event summaries.
+package synth
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex
+	state int // guarded by mu
+}
+
+var pkgMu sync.RWMutex
+
+// Direct chain: Outer -> middle -> (*S).acquire.
+func Outer(s *S) { middle(s) }
+
+func middle(s *S) { s.acquire() }
+
+func (s *S) acquire() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+func (s *S) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state--
+}
+
+func readPkg() {
+	pkgMu.RLock()
+	defer pkgMu.RUnlock()
+}
+
+// Interface dispatch: both implementations are candidate callees.
+type runner interface{ Step() }
+
+type fast struct{ s *S }
+
+func (f fast) Step() { f.s.acquire() }
+
+type slow struct{}
+
+func (slow) Step() {}
+
+func Dispatch(r runner) { r.Step() }
+
+// Function-typed field and parameter bindings.
+type hooks struct{ onFire func() }
+
+func WithHooks(s *S) *hooks {
+	return &hooks{onFire: s.acquire}
+}
+
+func (h *hooks) Fire() { h.onFire() }
+
+func apply(f func()) { f() }
+
+func Indirect(s *S) {
+	apply(func() { s.acquire() })
+}

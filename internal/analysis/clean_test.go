@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"cosim/internal/analysis"
@@ -30,6 +31,22 @@ func TestRepositoryIsCosimvetClean(t *testing.T) {
 	}
 	if len(pkgs) == 0 {
 		t.Fatal("no packages found in module")
+	}
+	// The sweep's value depends on its coverage: the command and
+	// example trees are where analyzer rules are most often violated
+	// first (new CLIs, copy-pasted model code), so a loader regression
+	// that silently drops them must fail here, not go unnoticed.
+	for _, prefix := range []string{modPath + "/cmd/", modPath + "/examples/", modPath + "/internal/"} {
+		found := false
+		for _, p := range pkgs {
+			if strings.HasPrefix(p.ImportPath, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("module package sweep lost %s... — ModulePackages regression?", prefix)
+		}
 	}
 	analyzers := suite.Analyzers()
 	for _, p := range pkgs {

@@ -1,0 +1,357 @@
+// Package detsafe checks determinism invariants of the simulation
+// core: a cosim run must replay bit-identically from a seed, so
+// internal/sim and internal/core must not let Go's deliberately
+// randomized constructs leak into kernel-visible state.
+//
+// Three rules:
+//
+//   - maprange: a `for ... range` over a map whose body has
+//     order-dependent effects — calls, or writes to state declared
+//     outside the loop — inherits the map's randomized iteration
+//     order. Collecting keys and sorting them before the effectful
+//     loop is the sanctioned fix; a loop that only accumulates keys or
+//     values later passed to a sort call is therefore clean, as is
+//     commutative integer accumulation (sums, counters).
+//
+//   - wallclock: time.Now and friends (Since, After, Tick, NewTimer,
+//     NewTicker, AfterFunc, Until) and math/rand make output depend on
+//     the host. Simulated time comes from the kernel clock; seeds come
+//     from configuration. Deliberate wall-clock escapes (stall
+//     timeouts) carry a cosimvet:ignore justification.
+//
+//   - select: a select with two or more communication clauses that
+//     each write state declared outside the select resolves readiness
+//     races nondeterministically; restructure so at most one clause
+//     mutates, or serialize through the kernel.
+//
+// Scope: packages whose import path ends in internal/sim or
+// internal/core. Test files are never loaded by the driver.
+package detsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cosim/internal/analysis"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsafe",
+	Doc:  "flags nondeterminism sources (map iteration order, wall clock, select races) in the simulation core",
+	Run:  run,
+}
+
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Until": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	p := pass.Pkg.Path()
+	if !strings.HasSuffix(p, "internal/sim") && !strings.HasSuffix(p, "internal/core") {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			c.checkMapRange(fd, n)
+		case *ast.SelectStmt:
+			c.checkSelect(n)
+		case *ast.SelectorExpr:
+			c.checkWallclock(n)
+		}
+		return true
+	})
+}
+
+// --- wallclock ---
+
+// pkgPathOf resolves the package an identifier like `time` or `rand`
+// refers to, or "".
+func (c *checker) pkgPathOf(x ast.Expr) string {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+func (c *checker) checkWallclock(sel *ast.SelectorExpr) {
+	switch c.pkgPathOf(sel.X) {
+	case "time":
+		if wallclockFuncs[sel.Sel.Name] {
+			c.pass.Reportf(sel.Pos(),
+				"time.%s reads the host wall clock; simulation output must derive from kernel time (sim.Time), not the host",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		c.pass.Reportf(sel.Pos(),
+			"math/rand in the simulation core; randomness must come from a seeded source owned by the configuration, not package-global state")
+	}
+}
+
+// --- maprange ---
+
+type effect struct {
+	pos  token.Pos
+	desc string
+	// appendTarget is set for `x = append(x, ...)` accumulations; the
+	// loop is clean if every target is sorted after the loop.
+	appendTarget types.Object
+}
+
+func (c *checker) checkMapRange(fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := c.pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var effects []effect
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if e, ok := c.assignEffect(n, i, lhs, rng); ok {
+					effects = append(effects, e)
+				}
+			}
+		case *ast.IncDecStmt:
+			// ++/-- is commutative integer accumulation: clean.
+		case *ast.CallExpr:
+			if name, ok := c.effectfulCall(n); ok {
+				effects = append(effects, effect{pos: n.Pos(), desc: "calls " + name + "; call order follows map iteration order"})
+			}
+		}
+		return true
+	})
+	var report *effect
+	for i := range effects {
+		e := &effects[i]
+		if e.appendTarget != nil && c.sortedAfter(fd, rng, e.appendTarget) {
+			continue
+		}
+		report = e
+		break
+	}
+	if report != nil {
+		c.pass.Reportf(rng.Pos(),
+			"map iteration order is randomized but this loop %s; iterate a sorted key slice instead",
+			report.desc)
+	}
+}
+
+// assignEffect classifies one assignment target inside a map range
+// body. Returns no effect for loop-local targets and commutative
+// integer accumulation.
+func (c *checker) assignEffect(as *ast.AssignStmt, i int, lhs ast.Expr, rng *ast.RangeStmt) (effect, bool) {
+	obj := c.rootObject(lhs)
+	if obj != nil && within(obj.Pos(), rng) {
+		return effect{}, false // loop-local
+	}
+	if as.Tok == token.DEFINE {
+		return effect{}, false
+	}
+	// Commutative integer accumulation (n += len(v)) is order-safe.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if tv, ok := c.pass.TypesInfo.Types[lhs]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return effect{}, false
+			}
+		}
+	}
+	e := effect{pos: lhs.Pos(), desc: "writes " + exprString(lhs) + " declared outside the loop"}
+	// x = append(x, ...) accumulation: sortable after the loop.
+	if i < len(as.Rhs) {
+		if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+				if c.rootObject(call.Args[0]) == obj && obj != nil {
+					e.appendTarget = obj
+					e.desc = "accumulates " + exprString(lhs) + " without a later sort"
+				}
+			}
+		}
+	}
+	return e, true
+}
+
+// effectfulCall reports whether a call inside a map range body is an
+// observable effect. Builtins and conversions are not.
+func (c *checker) effectfulCall(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[fun]; obj != nil {
+			switch obj.(type) {
+			case *types.Builtin, *types.TypeName:
+				return "", false
+			}
+		}
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+			return "", false // conversion
+		}
+		return exprString(fun), true
+	default:
+		return "", false
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range loop within the same function.
+func (c *checker) sortedAfter(fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch c.pkgPathOf(sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.rootObject(arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- select ---
+
+func (c *checker) checkSelect(sel *ast.SelectStmt) {
+	mutating := 0
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue // default clause: no readiness race
+		}
+		if c.writesOuterState(cc, sel) {
+			mutating++
+		}
+	}
+	if mutating >= 2 {
+		c.pass.Reportf(sel.Pos(),
+			"select has %d communication clauses that write shared state; clause choice under simultaneous readiness is nondeterministic — restructure so at most one clause mutates",
+			mutating)
+	}
+}
+
+func (c *checker) writesOuterState(cc *ast.CommClause, sel *ast.SelectStmt) bool {
+	writes := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if writes {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					obj := c.rootObject(lhs)
+					if obj == nil || !within(obj.Pos(), sel) {
+						writes = true
+					}
+				}
+			case *ast.IncDecStmt:
+				obj := c.rootObject(n.X)
+				if obj == nil || !within(obj.Pos(), sel) {
+					writes = true
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// --- shared helpers ---
+
+// rootObject unwraps selectors, indexes, stars, and parens down to the
+// base identifier's object, or nil.
+func (c *checker) rootObject(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return c.pass.TypesInfo.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos < n.End()
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return "state"
+	}
+}

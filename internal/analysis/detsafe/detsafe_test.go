@@ -1,0 +1,16 @@
+package detsafe_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/detsafe"
+)
+
+func TestDetsafe(t *testing.T) {
+	analysistest.Run(t, detsafe.Analyzer, "testdata/src/sim", "fixture/internal/sim")
+}
+
+func TestDetsafeOutOfScope(t *testing.T) {
+	analysistest.Run(t, detsafe.Analyzer, "testdata/src/outofscope", "fixture/other")
+}

@@ -1,0 +1,7 @@
+// Package outofscope reads the wall clock in a package outside
+// detsafe's scope; the analyzer must stay silent.
+package outofscope
+
+import "time"
+
+func Stamp() string { return time.Now().String() }

@@ -1,0 +1,111 @@
+// Package sim (fixture) exercises detsafe: randomized map iteration
+// reaching kernel-visible state, wall-clock reads, and racy selects.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type kernel struct {
+	grants  []string
+	total   int
+	stamp   string
+	applied bool
+	done    bool
+}
+
+// Effectful map range: true positive (calls).
+func (k *kernel) install(bindings map[string]int) {
+	for name := range bindings { // want `map iteration order is randomized but this loop calls plant`
+		plant(name)
+	}
+}
+
+func plant(string) {}
+
+// Append accumulation with no later sort: true positive.
+func (k *kernel) grantAll(ports map[string]int) {
+	for name := range ports { // want `map iteration order is randomized but this loop accumulates k\.grants without a later sort`
+		k.grants = append(k.grants, name)
+	}
+}
+
+// Collect-then-sort is the sanctioned fix: clean.
+func (k *kernel) grantSorted(ports map[string]int) {
+	names := make([]string, 0, len(ports))
+	for name := range ports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k.grants = append(k.grants, name)
+		plant(name)
+	}
+}
+
+// Commutative integer accumulation: clean.
+func (k *kernel) count(ports map[string][]byte) {
+	for _, buf := range ports {
+		k.total += len(buf)
+	}
+}
+
+// Loop-local state and commutative accumulation only: clean.
+func localOnly(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		scaled := v * 2
+		sum += scaled
+	}
+	return sum
+}
+
+// Wall clock: true positives.
+func (k *kernel) stampNow() {
+	k.stamp = time.Now().Format(time.RFC1123) // want `time\.Now reads the host wall clock`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `math/rand in the simulation core`
+}
+
+// Suppressed deliberate escape: clean.
+func deadline() *time.Timer {
+	//cosimvet:ignore detsafe stall-escape timeout is deliberately wall-clock
+	return time.NewTimer(time.Millisecond)
+}
+
+// Select with two mutating comm clauses: true positive.
+func (k *kernel) pump(a, b chan int) {
+	select { // want `select has 2 communication clauses that write shared state`
+	case <-a:
+		k.applied = true
+	case <-b:
+		k.done = true
+	}
+}
+
+// Single mutating clause: clean.
+func (k *kernel) wait(notify chan struct{}, timeout chan time.Time) {
+	for {
+		select {
+		case <-notify:
+			if k.applied {
+				return
+			}
+		case <-timeout:
+			k.done = true
+			return
+		}
+	}
+}
+
+// Non-blocking token send: clean.
+func poke(notify chan struct{}) {
+	select {
+	case notify <- struct{}{}:
+	default:
+	}
+}

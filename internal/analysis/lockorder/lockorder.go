@@ -1,0 +1,403 @@
+// Package lockorder checks mutex acquisitions against a declarative
+// lock-ordering spec, interprocedurally, using the callgraph package's
+// per-function lock summaries.
+//
+// The spec is a list of tiers from innermost-forbidden to outermost:
+// acquiring a class whose tier is LOWER than a class already held is a
+// violation. The first rule encodes the PR 8 DMI discipline (DESIGN
+// 5.10): dev.Window locks are tier 0 and device/scheme mutexes are
+// tier 1, so taking a window lock while holding a device or scheme
+// mutex — the inversion the collect-then-revoke idiom exists to
+// prevent — is flagged, with the acquisition path in the diagnostic.
+// Acquiring a class that is already held is always flagged (Go mutexes
+// are not reentrant), and any cycle in the observed acquisition-order
+// graph is reported even between classes the spec does not tier.
+//
+// Three approximations, all deliberately over- or under-shooting in
+// the safe direction for a tripwire:
+//
+//   - Held intervals are syntactic: a Lock holds from its source
+//     position to the matching Unlock's position (a deferred Unlock
+//     holds to the end of the function). Branch-dependent unlocking is
+//     not modeled.
+//   - Calls to package-local functions propagate transitively through
+//     the call graph's (over-approximate) edges.
+//   - A call to another package's method on a type that owns a
+//     spec-declared class (e.g. any dev.Window method called from
+//     internal/core) is assumed to acquire that class — precise
+//     summaries stop at the package boundary, and assuming the lock is
+//     taken is the conservative choice. Lock-free accessors flagged by
+//     this rule can be suppressed with //cosimvet:ignore lockorder.
+//
+// Scope: packages under internal/{core,dev,sim,server,obs}.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cosim/internal/analysis"
+	"cosim/internal/analysis/callgraph"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutex acquisitions that violate the declarative lock-ordering spec (window < device/scheme), plus acquisition cycles",
+	Run:  run,
+}
+
+// ClassPattern names one mutex class in the spec, matched by package
+// path suffix so repo packages and test fixtures both match.
+type ClassPattern struct {
+	PkgSuffix string
+	Type      string // owning named type ("" for package-level vars)
+	Field     string
+}
+
+// Tier is one level of the ordering: classes in a lower tier must be
+// acquired before (i.e. must never be acquired while holding) classes
+// in a higher tier.
+type Tier struct {
+	Name     string
+	Patterns []ClassPattern
+}
+
+// Spec is the declarative lock-ordering specification.
+type Spec struct {
+	Tiers []Tier
+}
+
+// DefaultSpec encodes the repository's ordering rules. Rule 1 (PR 8,
+// DESIGN 5.10): dev.Window locks are innermost-forbidden relative to
+// device and scheme mutexes — a window lock must never be taken while
+// a device or scheme mutex is held.
+var DefaultSpec = Spec{
+	Tiers: []Tier{
+		{Name: "window", Patterns: []ClassPattern{
+			{"internal/dev", "Window", "mu"},
+		}},
+		{Name: "device/scheme", Patterns: []ClassPattern{
+			{"internal/dev", "CosimDev", "mu"},
+			{"internal/dev", "PIC", "mu"},
+			{"internal/dev", "Console", "mu"},
+			{"internal/dev", "Mailbox", "mu"},
+			{"internal/core", "DriverKernel", "mu"},
+		}},
+	},
+}
+
+var scopeSuffixes = []string{
+	"internal/core", "internal/dev", "internal/sim", "internal/server", "internal/obs",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// tier returns the spec tier index of a class, or -1 if untiered.
+func (s *Spec) tier(c callgraph.Class) (int, string) {
+	for i, t := range s.Tiers {
+		for _, p := range t.Patterns {
+			if c.Matches(p.PkgSuffix, p.Type, p.Field) {
+				return i, t.Name
+			}
+		}
+	}
+	return -1, ""
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	g := callgraph.Build(pass)
+	c := &checker{
+		pass:      pass,
+		graph:     g,
+		spec:      &DefaultSpec,
+		taCache:   make(map[*callgraph.Node]map[callgraph.Class][]*callgraph.Node),
+		orderEdge: make(map[[2]callgraph.Class]edgeInfo),
+		reported:  make(map[string]bool),
+	}
+	for _, n := range g.Nodes {
+		c.checkNode(n)
+	}
+	c.reportCycles()
+	return nil, nil
+}
+
+type edgeInfo struct {
+	pos  token.Pos
+	desc string // "B acquired while holding A in F"
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	graph     *callgraph.Graph
+	spec      *Spec
+	taCache   map[*callgraph.Node]map[callgraph.Class][]*callgraph.Node
+	orderEdge map[[2]callgraph.Class]edgeInfo
+	reported  map[string]bool
+}
+
+func (c *checker) transitive(n *callgraph.Node) map[callgraph.Class][]*callgraph.Node {
+	if ta, ok := c.taCache[n]; ok {
+		return ta
+	}
+	ta := c.graph.TransitiveAcquires(n)
+	c.taCache[n] = ta
+	return ta
+}
+
+// event is one point in a body's merged lock/call timeline.
+type event struct {
+	pos     token.Pos
+	lock    *callgraph.LockEvent
+	edges   []*callgraph.Edge // call edges at this call site
+	foreign *callgraph.Class  // cross-package class-owner method call
+}
+
+func (c *checker) checkNode(n *callgraph.Node) {
+	events := c.timeline(n)
+	held := make(map[callgraph.Class]token.Pos)
+	for _, ev := range events {
+		switch {
+		case ev.lock != nil && ev.lock.Release:
+			if !ev.lock.Defer {
+				delete(held, ev.lock.Class)
+			}
+		case ev.lock != nil:
+			c.checkAcquire(n, nil, ev.lock.Class, ev.pos, held)
+			held[ev.lock.Class] = ev.pos
+		case ev.foreign != nil:
+			// Transient: the callee acquires and releases internally.
+			c.checkAcquire(n, nil, *ev.foreign, ev.pos, held)
+		default:
+			if len(held) == 0 {
+				continue
+			}
+			for _, e := range ev.edges {
+				for cls, path := range c.transitive(e.Callee) {
+					c.checkAcquire(n, path, cls, ev.pos, held)
+				}
+			}
+		}
+	}
+}
+
+// timeline merges a node's lock events, call edges and cross-package
+// class-owner method calls into source order.
+func (c *checker) timeline(n *callgraph.Node) []event {
+	var out []event
+	for i := range n.Locks {
+		out = append(out, event{pos: n.Locks[i].Pos, lock: &n.Locks[i]})
+	}
+	byCall := make(map[*ast.CallExpr][]*callgraph.Edge)
+	var callOrder []*ast.CallExpr
+	for i := range n.Calls {
+		e := &n.Calls[i]
+		if _, ok := byCall[e.Call]; !ok {
+			callOrder = append(callOrder, e.Call)
+		}
+		byCall[e.Call] = append(byCall[e.Call], e)
+	}
+	for _, call := range callOrder {
+		out = append(out, event{pos: call.Pos(), edges: byCall[call]})
+	}
+	for _, fc := range c.foreignClassCalls(n) {
+		out = append(out, fc)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// foreignClassCalls finds calls to other packages' methods on types
+// that own a spec-declared class; each is assumed to acquire it.
+func (c *checker) foreignClassCalls(n *callgraph.Node) []event {
+	var out []event
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // literal bodies are their own nodes
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := c.pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg() == c.pass.Pkg {
+			return true // package-local: the call graph has a precise edge
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		for _, t := range c.spec.Tiers {
+			for _, p := range t.Patterns {
+				if p.Type == "" || named.Obj().Name() != p.Type ||
+					!strings.HasSuffix(named.Obj().Pkg().Path(), p.PkgSuffix) {
+					continue
+				}
+				cls := callgraph.Class{Pkg: named.Obj().Pkg().Path(), Type: p.Type, Field: p.Field}
+				out = append(out, event{pos: call.Pos(), foreign: &cls})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAcquire checks acquiring cls (directly, or transitively via
+// path) at pos against the currently held set.
+func (c *checker) checkAcquire(n *callgraph.Node, path []*callgraph.Node, cls callgraph.Class, pos token.Pos, held map[callgraph.Class]token.Pos) {
+	via := ""
+	if len(path) > 0 {
+		var names []string
+		for _, p := range path {
+			names = append(names, p.Name)
+		}
+		via = " via " + n.Name + " -> " + strings.Join(names, " -> ")
+	}
+	if _, ok := held[cls]; ok {
+		c.reportf(pos, cls.String()+"|self",
+			"%s acquired while already held%s (Go mutexes are not reentrant)", cls, via)
+	}
+	clsTier, clsTierName := c.spec.tier(cls)
+	for h := range held {
+		if h == cls {
+			continue
+		}
+		hTier, hTierName := c.spec.tier(h)
+		if clsTier >= 0 && hTier >= 0 && clsTier < hTier {
+			c.reportf(pos, cls.String()+"|"+h.String(),
+				"lock order violation: %s (tier %q) acquired while holding %s (tier %q)%s; the spec requires %s locks to be taken first",
+				cls, clsTierName, h, hTierName, via, clsTierName)
+			continue // already diagnosed; keep it out of the cycle graph
+		}
+		key := [2]callgraph.Class{h, cls}
+		if _, ok := c.orderEdge[key]; !ok {
+			c.orderEdge[key] = edgeInfo{
+				pos:  pos,
+				desc: fmt.Sprintf("%s acquired while holding %s in %s", cls, h, n.Name),
+			}
+		}
+	}
+}
+
+// reportf deduplicates diagnostics by (position, key).
+func (c *checker) reportf(pos token.Pos, key, format string, args ...any) {
+	id := fmt.Sprintf("%d|%s", pos, key)
+	if c.reported[id] {
+		return
+	}
+	c.reported[id] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// reportCycles finds cycles in the acquisition-order graph (an edge
+// A -> B means B was acquired while A was held somewhere in the
+// package) and reports each once, at the lexically first edge.
+func (c *checker) reportCycles() {
+	adj := make(map[callgraph.Class][]callgraph.Class)
+	for key := range c.orderEdge {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	var classes []callgraph.Class
+	for cls := range adj {
+		classes = append(classes, cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].String() < classes[j].String() })
+	for cls := range adj {
+		sort.Slice(adj[cls], func(i, j int) bool { return adj[cls][i].String() < adj[cls][j].String() })
+	}
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[callgraph.Class]int)
+	var stack []callgraph.Class
+	var visit func(callgraph.Class)
+	visit = func(u callgraph.Class) {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			if color[v] == gray {
+				// Found a cycle: the suffix of the stack from v.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != v {
+					i--
+				}
+				cycle := append(append([]callgraph.Class(nil), stack[i:]...), v)
+				c.reportCycle(cycle)
+			} else if color[v] == white {
+				visit(v)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+	}
+	for _, cls := range classes {
+		if color[cls] == white {
+			visit(cls)
+		}
+	}
+}
+
+func (c *checker) reportCycle(cycle []callgraph.Class) {
+	// Canonicalize: rotate so the smallest class name leads, so each
+	// cycle is reported once regardless of discovery order.
+	body := cycle[:len(cycle)-1]
+	min := 0
+	for i := range body {
+		if body[i].String() < body[min].String() {
+			min = i
+		}
+	}
+	rot := append(append([]callgraph.Class(nil), body[min:]...), body[:min]...)
+	rot = append(rot, rot[0])
+	var names []string
+	for _, cls := range rot {
+		names = append(names, cls.String())
+	}
+	key := strings.Join(names, " -> ")
+	if c.reported["cycle|"+key] {
+		return
+	}
+	c.reported["cycle|"+key] = true
+
+	// Report at the lexically first edge of the cycle, with each edge's
+	// evidence in the message.
+	pos := token.Pos(0)
+	var evidence []string
+	for i := 0; i+1 < len(rot); i++ {
+		e := c.orderEdge[[2]callgraph.Class{rot[i], rot[i+1]}]
+		if pos == 0 || (e.pos != 0 && e.pos < pos) {
+			pos = e.pos
+		}
+		evidence = append(evidence, e.desc)
+	}
+	c.pass.Reportf(pos, "lock acquisition cycle: %s (%s)", key, strings.Join(evidence, "; "))
+}

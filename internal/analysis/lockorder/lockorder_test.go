@@ -1,0 +1,21 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/lockorder"
+)
+
+func TestLockorderInPackage(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/dev", "fixture/internal/dev")
+}
+
+func TestLockorderCrossPackageProxy(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/core", "fixture/internal/core")
+}
+
+// Out of scope, the analyzer stays silent even over inverted locks.
+func TestLockorderOutOfScope(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/outofscope", "fixture/other")
+}

@@ -1,0 +1,32 @@
+// Package core (fixture) exercises lockorder's cross-package rule: a
+// call to another package's method on a spec class owner (here the
+// real dev.Window) is assumed to acquire that class.
+package core
+
+import (
+	"sync"
+
+	"cosim/internal/dev"
+)
+
+type DriverKernel struct {
+	mu sync.Mutex
+}
+
+// Revoking a window while holding the scheme mutex is the inversion
+// the collect-then-revoke idiom exists to prevent.
+func (d *DriverKernel) revokeUnderLock(w *dev.Window) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Revoke() // want `lock order violation: dev.Window.mu .tier "window". acquired while holding core.DriverKernel.mu`
+}
+
+// Collect under the lock, revoke after releasing it: clean.
+func (d *DriverKernel) collectThenRevoke(ws []*dev.Window) {
+	d.mu.Lock()
+	collected := append([]*dev.Window(nil), ws...)
+	d.mu.Unlock()
+	for _, w := range collected {
+		w.Revoke()
+	}
+}

@@ -1,0 +1,102 @@
+// Package dev (fixture) exercises lockorder's in-package checks: the
+// import path ends in internal/dev, so the local Window/CosimDev/
+// Mailbox types match the spec's class patterns.
+package dev
+
+import "sync"
+
+type Window struct {
+	mu sync.Mutex
+}
+
+func (w *Window) lock() {
+	w.mu.Lock()
+}
+
+func (w *Window) Revoke() {
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+type CosimDev struct {
+	mu sync.Mutex
+}
+
+// Direct inversion: the window lock is taken while the device mutex is
+// held.
+func (d *CosimDev) direct(w *Window) {
+	d.mu.Lock()
+	w.mu.Lock() // want `lock order violation: dev.Window.mu .tier "window". acquired while holding dev.CosimDev.mu`
+	w.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Interprocedural inversion: the acquisition happens two calls deep;
+// the diagnostic lands on the call made while the device mutex is held
+// and names the path.
+func (d *CosimDev) indirect(w *Window) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	helper(w) // want `lock order violation: dev.Window.mu .tier "window". acquired while holding dev.CosimDev.mu .tier "device/scheme". via CosimDev.indirect -> helper -> Window.lock`
+}
+
+func helper(w *Window) {
+	w.lock()
+}
+
+// Collect-then-revoke: the device mutex is released before the window
+// lock is taken, so nothing fires.
+func (d *CosimDev) collectThenRevoke(w *Window) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// The spec direction: taking the device mutex while holding a window
+// lock ascends the tiers and is legal.
+func (d *CosimDev) ascending(w *Window) {
+	w.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// Non-reentrant double acquisition of the same class.
+func (w *Window) reenter() {
+	w.mu.Lock()
+	w.mu.Lock() // want `dev.Window.mu acquired while already held`
+	w.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// A justified inversion can be suppressed like any other finding.
+func (d *CosimDev) suppressed(w *Window) {
+	d.mu.Lock()
+	//cosimvet:ignore lockorder fixture exercising the suppression path
+	w.mu.Lock()
+	w.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Cycle between two untiered classes: jekyll locks a then b, hyde
+// locks b then a. Neither order violates a tier rule, but together
+// they form an acquisition cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) jekyll() {
+	p.a.Lock()
+	p.b.Lock() // want `lock acquisition cycle: dev.pair.a -> dev.pair.b -> dev.pair.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) hyde() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package outofscope holds an inverted acquisition in a package that
+// is outside lockorder's scope; the analyzer must stay silent.
+package outofscope
+
+import "sync"
+
+type Window struct{ mu sync.Mutex }
+
+type CosimDev struct{ mu sync.Mutex }
+
+func (d *CosimDev) inverted(w *Window) {
+	d.mu.Lock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	d.mu.Unlock()
+}

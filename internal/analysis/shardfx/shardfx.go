@@ -1,0 +1,294 @@
+// Package shardfx checks the sharded-round effect discipline of
+// internal/sim (DESIGN 5.11): code that can run inside a sharded
+// evaluation round — worker context — must not mutate kernel-global
+// scheduling state directly. Every such effect (Notify, NotifyDelta,
+// NotifyAt, Cancel, CallAt, update registration) must route through the
+// round's deferred-effects log via the round-guard idiom:
+//
+//	if r := e.k.round; r != nil {
+//		r.deferOp(e, ...)
+//		return
+//	}
+//
+// The analyzer walks the callgraph from the package's worker-context
+// entry points — the exported model API a method process can call —
+// and flags any reachable unguarded write to a Kernel field, or call to
+// a method on a Kernel scheduling field (k.timed.push and friends).
+// Traversal stops at round-guarded functions: code inside the guard is
+// deferred to the merge barrier and code after it runs only in serial
+// context, so neither executes on a worker.
+//
+// Worker-context entry points are the exported functions and methods of
+// exported types, minus:
+//
+//   - constructors (New*): the object under construction is not shared;
+//   - functions with a *Ctx receiver or parameter: Ctx is the thread
+//     API, and threads never run inside rounds;
+//   - the scheduler/registration surface (Run, RunFor, Shutdown,
+//     Method, Thread, hook/finalizer registration, ...): declared
+//     scheduler-context by the allowlist below. Traversal also stops
+//     there — calling them from a process is an elaboration-time error
+//     outside this rule's scope.
+//
+// Fields of sync/atomic types are exempt: atomics are the sanctioned
+// way for worker-context code to signal the scheduler (Kernel.Stop).
+//
+// Scope: packages whose import path ends in internal/sim.
+package shardfx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cosim/internal/analysis"
+	"cosim/internal/analysis/callgraph"
+)
+
+// Analyzer implements the rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardfx",
+	Doc:  "flags kernel-global effects reachable from sharded worker context that bypass the round's deferred-effects log",
+	Run:  run,
+}
+
+// schedulerContext lists Kernel methods that only ever run in
+// scheduler or elaboration context; they are neither worker-context
+// entry points nor traversed.
+var schedulerContext = map[string]bool{
+	"Run": true, "RunFor": true, "Shutdown": true,
+	"Method": true, "MethodNoInit": true, "Thread": true, "IssProcess": true,
+	"EnableSharding": true, "SetObs": true, "PublishObs": true,
+	"AddCycleHook": true, "AddEndCycleHook": true, "AddFinalizer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/sim") {
+		return nil, nil
+	}
+	g := callgraph.Build(pass)
+	c := &checker{pass: pass, graph: g, guardEnd: make(map[*callgraph.Node]token.Pos)}
+	for _, n := range g.Nodes {
+		c.guardEnd[n] = c.roundGuardPos(n)
+	}
+	// Breadth-first from every worker-context entry point, shortest
+	// path retained for the diagnostic.
+	type item struct {
+		node *callgraph.Node
+		path []string
+	}
+	visited := make(map[*callgraph.Node]bool)
+	var queue []item
+	for _, n := range g.Nodes {
+		if c.isWorkerEntry(n) && !visited[n] {
+			visited[n] = true
+			queue = append(queue, item{n, []string{n.Name}})
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		guard := c.guardEnd[it.node]
+		c.checkMutations(it.node, guard, it.path, reported)
+		for _, e := range it.node.Calls {
+			if guard != token.NoPos && e.Pos >= guard {
+				continue // inside or after the round guard: not worker context
+			}
+			callee := e.Callee
+			if visited[callee] || c.isSchedulerContext(callee) {
+				continue
+			}
+			visited[callee] = true
+			queue = append(queue, item{callee, append(append([]string(nil), it.path...), callee.Name)})
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	graph    *callgraph.Graph
+	guardEnd map[*callgraph.Node]token.Pos
+}
+
+// roundGuardPos returns the position of the node's top-level round
+// guard (an `if r := k.round; r != nil { ...; return }` statement), or
+// NoPos if the body has none. Code at or after the guard is exempt:
+// inside the guard effects are deferred, after it the context is
+// serial.
+func (c *checker) roundGuardPos(n *callgraph.Node) token.Pos {
+	for _, stmt := range n.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if !c.isRoundCond(ifs) {
+			continue
+		}
+		if len(ifs.Body.List) == 0 {
+			continue
+		}
+		if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); !ok {
+			continue
+		}
+		return ifs.Pos()
+	}
+	return token.NoPos
+}
+
+// isRoundCond matches `x.round != nil` and `r := x.round; r != nil`
+// where x is Kernel-typed.
+func (c *checker) isRoundCond(ifs *ast.IfStmt) bool {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var subject ast.Expr
+	switch {
+	case isNil(bin.Y):
+		subject = bin.X
+	case isNil(bin.X):
+		subject = bin.Y
+	default:
+		return false
+	}
+	roundSel := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "round" {
+			return false
+		}
+		tv, ok := c.pass.TypesInfo.Types[sel.X]
+		return ok && analysis.NamedType(tv.Type, "internal/sim", "Kernel")
+	}
+	if roundSel(subject) {
+		return true
+	}
+	// Init form: the condition tests the init-assigned variable.
+	if init, ok := ifs.Init.(*ast.AssignStmt); ok && len(init.Rhs) == 1 {
+		return roundSel(init.Rhs[0])
+	}
+	return false
+}
+
+func (c *checker) isSchedulerContext(n *callgraph.Node) bool {
+	return n.Decl != nil && schedulerContext[n.Decl.Name.Name] &&
+		c.kernelReceiver(n.Decl)
+}
+
+func (c *checker) kernelReceiver(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	return ok && analysis.NamedType(tv.Type, "internal/sim", "Kernel")
+}
+
+// isWorkerEntry reports whether a node is part of the exported model
+// API a method process can call.
+func (c *checker) isWorkerEntry(n *callgraph.Node) bool {
+	fd := n.Decl
+	if fd == nil || !fd.Name.IsExported() || strings.HasPrefix(fd.Name.Name, "New") {
+		return false
+	}
+	if fd.Recv != nil {
+		recv := analysis.ReceiverTypeName(fd)
+		if recv == "" || !ast.IsExported(recv) {
+			return false
+		}
+		if c.isCtx(fd.Recv.List[0].Type) {
+			return false // thread-only API
+		}
+	}
+	if c.isSchedulerContext(n) {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if c.isCtx(field.Type) {
+			return false // takes the thread context: thread-only API
+		}
+	}
+	return true
+}
+
+func (c *checker) isCtx(expr ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	return ok && analysis.NamedType(tv.Type, "internal/sim", "Ctx")
+}
+
+// checkMutations flags kernel-global effects in the worker-context
+// region of a node (before its round guard, or anywhere without one).
+func (c *checker) checkMutations(n *callgraph.Node, guard token.Pos, path []string, reported map[token.Pos]bool) {
+	via := strings.Join(path, " -> ")
+	exempt := func(pos token.Pos) bool { return guard != token.NoPos && pos >= guard }
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		c.pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // literal bodies are their own nodes
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if field, ok := c.kernelField(lhs); ok && !exempt(lhs.Pos()) {
+					report(lhs.Pos(),
+						"kernel-global write to Kernel.%s reachable from worker context via %s; defer it through the round's effect log (deferOp)",
+						field, via)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := c.kernelField(x.X); ok && !exempt(x.Pos()) {
+				report(x.Pos(),
+					"kernel-global write to Kernel.%s reachable from worker context via %s; defer it through the round's effect log (deferOp)",
+					field, via)
+			}
+		case *ast.CallExpr:
+			fun, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := c.pass.TypesInfo.Selections[fun]; !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			if field, ok := c.kernelField(fun.X); ok && !exempt(x.Pos()) {
+				report(x.Pos(),
+					"kernel-global call to Kernel.%s.%s reachable from worker context via %s; defer it through the round's effect log (deferOp)",
+					field, fun.Sel.Name, via)
+			}
+		}
+		return true
+	})
+}
+
+// kernelField reports whether expr selects a (non-atomic) field of the
+// sim Kernel type and returns the field name.
+func (c *checker) kernelField(expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || !analysis.NamedType(tv.Type, "internal/sim", "Kernel") {
+		return "", false
+	}
+	// Atomic fields are the sanctioned worker->scheduler signal.
+	if obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok {
+		t := obj.Type()
+		if named, ok := t.(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+				return "", false
+			}
+		}
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,12 @@
+package shardfx_test
+
+import (
+	"testing"
+
+	"cosim/internal/analysis/analysistest"
+	"cosim/internal/analysis/shardfx"
+)
+
+func TestShardfx(t *testing.T) {
+	analysistest.Run(t, shardfx.Analyzer, "testdata/src/sim", "fixture/internal/sim")
+}

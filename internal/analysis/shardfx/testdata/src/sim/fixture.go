@@ -1,0 +1,116 @@
+// Package sim (fixture) is a miniature model of the real kernel's
+// sharded-round discipline: guarded effects, unguarded true positives,
+// scheduler-context allowlisting, atomic signalling, and thread-only
+// Ctx APIs.
+package sim
+
+import "sync/atomic"
+
+type Kernel struct {
+	runnable []*Proc
+	deltas   []*Event
+	events   []*Event
+	timed    timedQueue
+	round    *shardRound
+	stopReq  atomic.Bool
+}
+
+type Proc struct{ name string }
+
+type Event struct {
+	k       *Kernel
+	pending bool
+}
+
+type timedQueue struct{ items []*Event }
+
+func (q *timedQueue) push(e *Event) { q.items = append(q.items, e) }
+
+func (q *timedQueue) remove(e *Event) {
+	for i, x := range q.items {
+		if x == e {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+type shardRound struct{ ops []func() }
+
+func (r *shardRound) deferOp(owner *Event, fn func()) { r.ops = append(r.ops, fn) }
+
+// Notify is guarded: in a round the effect is deferred, otherwise the
+// context is serial. Clean.
+func (e *Event) Notify() {
+	if r := e.k.round; r != nil {
+		r.deferOp(e, e.Notify)
+		return
+	}
+	e.k.deltas = append(e.k.deltas, e)
+}
+
+// Cancel uses the guard and then touches a Kernel field method after
+// it — serial context, exempt. Clean.
+func (e *Event) Cancel() {
+	if r := e.k.round; r != nil {
+		r.deferOp(e, func() { e.Cancel() })
+		return
+	}
+	e.k.timed.remove(e)
+}
+
+// NotifyBroken mutates the delta queue with no guard: true positive.
+func (e *Event) NotifyBroken() {
+	e.k.deltas = append(e.k.deltas, e) // want `kernel-global write to Kernel\.deltas reachable from worker context via Event\.NotifyBroken`
+}
+
+// Wake reaches an unguarded helper: the diagnostic lands on the
+// mutation inside the helper with the path from the entry point.
+func (e *Event) Wake() {
+	e.pending = true
+	e.schedule()
+}
+
+func (e *Event) schedule() {
+	e.k.timed.push(e) // want `kernel-global call to Kernel\.timed\.push reachable from worker context via Event\.Wake -> Event\.schedule`
+}
+
+// Stop flips an atomic flag — the sanctioned worker->scheduler signal.
+// Clean.
+func (k *Kernel) Stop() { k.stopReq.Store(true) }
+
+// Run is scheduler context (allowlisted): it may mutate freely and is
+// not traversed.
+func (k *Kernel) Run() {
+	k.runnable = k.runnable[:0]
+	k.drain()
+}
+
+func (k *Kernel) drain() { k.deltas = nil }
+
+// NewEvent is a constructor: exempt even though it registers the event
+// on the kernel.
+func (k *Kernel) NewEvent() *Event {
+	e := &Event{k: k}
+	k.events = append(k.events, e)
+	return e
+}
+
+// Ctx is the thread API: Ctx receivers and Ctx-taking functions are
+// thread-only and never run inside a round.
+type Ctx struct{ k *Kernel }
+
+func (c *Ctx) Wait() { c.k.runnable = nil }
+
+type Fifo struct{ k *Kernel }
+
+func (f *Fifo) Read(c *Ctx) int {
+	f.k.runnable = nil
+	return 0
+}
+
+// Suppressed finding.
+func (e *Event) NotifyLegacy() {
+	//cosimvet:ignore shardfx grandfathered pre-sharding path, scheduled for removal
+	e.k.deltas = append(e.k.deltas, e)
+}

@@ -1,15 +1,18 @@
-// Package suite bundles the seven cosimvet analyzers. cmd/cosimvet and
-// the repo-wide cleanliness test both consume this list, so adding a
-// rule here wires it into the CLI and CI in one step.
+// Package suite bundles the cosimvet analyzers. cmd/cosimvet and the
+// repo-wide cleanliness test both consume this list, so adding a rule
+// here wires it into the CLI and CI in one step.
 package suite
 
 import (
 	"cosim/internal/analysis"
 	"cosim/internal/analysis/ctxfirst"
+	"cosim/internal/analysis/detsafe"
 	"cosim/internal/analysis/lockedfield"
+	"cosim/internal/analysis/lockorder"
 	"cosim/internal/analysis/obsnames"
 	"cosim/internal/analysis/poolsafe"
 	"cosim/internal/analysis/schemeerr"
+	"cosim/internal/analysis/shardfx"
 	"cosim/internal/analysis/timesafe"
 	"cosim/internal/analysis/transportclose"
 )
@@ -18,10 +21,13 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxfirst.Analyzer,
+		detsafe.Analyzer,
 		lockedfield.Analyzer,
+		lockorder.Analyzer,
 		obsnames.Analyzer,
 		poolsafe.Analyzer,
 		schemeerr.Analyzer,
+		shardfx.Analyzer,
 		timesafe.Analyzer,
 		transportclose.Analyzer,
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -489,18 +490,32 @@ func (c *driverCPU) errf(format string, args ...any) error {
 // side-effect-free backing memory — so all of them are DMI-eligible;
 // side-effectful device registers never reach this path because they
 // are not ports.
+// Grant order is sorted by port name: grants append to c.grants and
+// register windows with the guest bridge, so map-iteration order would
+// leak into reconcile order and the journal.
 func (c *driverCPU) grantWindows(granter dev.DMIGranter) {
-	for name, b := range c.outBindings {
+	outNames := make([]string, 0, len(c.outBindings))
+	for name := range c.outBindings {
+		outNames = append(outNames, name)
+	}
+	sort.Strings(outNames)
+	for _, name := range outNames {
+		b := c.outBindings[name]
 		w := dev.NewWindow(name, c.notifyActivity)
 		w.Update(b.outPort.Bytes(), b.outPort.Writes())
 		b.outPort.SetOnWrite(w.Update)
 		granter.GrantDMIWindow(name, w)
 		c.grants = append(c.grants, &dmiGrant{w: w, b: b, port: name})
 	}
-	for name, p := range c.inPorts {
+	inNames := make([]string, 0, len(c.inPorts))
+	for name := range c.inPorts {
+		inNames = append(inNames, name)
+	}
+	sort.Strings(inNames)
+	for _, name := range inNames {
 		w := dev.NewWindow(name, c.notifyActivity)
 		granter.GrantDMIWindow(name, w)
-		c.grants = append(c.grants, &dmiGrant{w: w, in: p, port: name})
+		c.grants = append(c.grants, &dmiGrant{w: w, in: c.inPorts[name], port: name})
 	}
 }
 
@@ -707,6 +722,11 @@ func (d *DriverKernel) lockstepWait(k *sim.Kernel) {
 		d.obs.skewWaits.Inc()
 		c.obs.skewWaits.Inc()
 		sp := d.obs.skewWaitNS.Start()
+		// The stall-escape timeout is deliberately wall-clock: it only
+		// fires when a guest stops responding, i.e. when determinism is
+		// already lost, and it must not depend on simulated time that
+		// is no longer advancing.
+		//cosimvet:ignore detsafe stall-escape timeout is intentionally host wall-clock
 		timer := time.NewTimer(d.waitTimeout)
 	wait:
 		for {

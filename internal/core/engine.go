@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cosim/internal/gdb"
 	"cosim/internal/obs"
@@ -120,19 +121,30 @@ func (e *gdbEngine) Name() string { return e.schemeName }
 func (e *gdbEngine) Publish(r *obs.Registry) { publishRSP(r, e.cl) }
 
 // installBreakpoints plants a software breakpoint at each line binding
-// and a write watchpoint at each watch-mode binding.
+// and a write watchpoint at each watch-mode binding. Addresses are
+// sorted so the RSP command sequence (and any stub-side log of it) is
+// identical run to run.
 func (e *gdbEngine) installBreakpoints() error {
-	for addr := range e.byAddr {
+	for _, addr := range sortedAddrs(e.byAddr) {
 		if err := e.cl.SetBreakpoint(addr); err != nil {
 			return err
 		}
 	}
-	for addr, b := range e.byWatch {
-		if err := e.cl.SetWatchpoint(addr, b.spec.Size); err != nil {
+	for _, addr := range sortedAddrs(e.byWatch) {
+		if err := e.cl.SetWatchpoint(addr, e.byWatch[addr].spec.Size); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func sortedAddrs(m map[uint32]*binding) []uint32 {
+	addrs := make([]uint32, 0, len(m))
+	for addr := range m {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
 }
 
 // targetTime maps a guest cycle count to simulated time.

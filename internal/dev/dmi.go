@@ -122,11 +122,15 @@ func (w *Window) TryWrite(cycles uint32, data []byte) bool {
 }
 
 // Update mirrors the backing port's current bytes and write generation
-// into the window (kernel side). It is a no-op on a revoked window.
+// into the window (kernel side). It is a no-op on a revoked window and
+// on a stale generation: devices snapshot the image under their own
+// mutex but apply it here after releasing it (window locks are never
+// taken under a device mutex), so two racing updates may arrive out of
+// order and the older one must not regress the mirror.
 func (w *Window) Update(data []byte, seq uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if !w.valid {
+	if !w.valid || seq < w.seq {
 		return
 	}
 	w.data = append(w.data[:0], data...)

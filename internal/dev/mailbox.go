@@ -61,18 +61,21 @@ func (m *Mailbox) Name() string { return "mailbox" }
 // Size implements iss.Device.
 func (m *Mailbox) Size() uint32 { return MBSize }
 
-// mirror refreshes a side's window from its queue; callers hold m.mu.
+// mirrorLocked snapshots a side's window image from its queue; callers
+// hold m.mu and apply the snapshot with win.Update after releasing it —
+// window locks are never taken under a device mutex, and Update's
+// generation guard discards whichever of two racing snapshots is older.
 // The payload image is the queued words in delivery order, little-
 // endian, stamped with the cumulative delivery count as generation.
-func (s *mailboxSide) mirror() {
+func (s *mailboxSide) mirrorLocked() (win *Window, buf []byte, gen uint64) {
 	if s.win == nil {
-		return
+		return nil, nil, 0
 	}
-	buf := make([]byte, 0, 4*len(s.queue))
+	buf = make([]byte, 0, 4*len(s.queue))
 	for _, v := range s.queue {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
 	}
-	s.win.Update(buf, s.delivered)
+	return s.win, buf, s.delivered
 }
 
 // GrantDMIWindow mirrors this endpoint's receive-queue payload into w,
@@ -82,8 +85,11 @@ func (m *Mailbox) GrantDMIWindow(w *Window) {
 	m.mu.Lock()
 	old := m.self.win
 	m.self.win = w
-	m.self.mirror()
+	win, buf, gen := m.self.mirrorLocked()
 	m.mu.Unlock()
+	if win != nil {
+		win.Update(buf, gen)
+	}
 	if old != nil {
 		old.Revoke()
 	}
@@ -129,9 +135,12 @@ func (m *Mailbox) Write(off uint32, size int, v uint32) error {
 		m.mu.Lock()
 		m.peer.queue = append(m.peer.queue, v)
 		m.peer.delivered++
-		m.peer.mirror()
+		win, buf, gen := m.peer.mirrorLocked()
 		pic, line := m.peer.pic, m.peer.line
 		m.mu.Unlock()
+		if win != nil {
+			win.Update(buf, gen)
+		}
 		pic.Assert(line)
 		return nil
 	default:

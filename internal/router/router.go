@@ -43,8 +43,19 @@ type Engine struct {
 // Router is the SystemC hardware model of the case study. The checksum
 // of each packet is computed in software on an ISS: a forwarding
 // process writes the packet blob to the engine's iss_out port, rings
-// the doorbell (Driver-Kernel only), and waits for the result on its
+// the doorbell (Driver-Kernel only), and collects the result from its
 // iss_in port.
+//
+// Forwarding is method-style (SC_METHOD) rather than thread-style so
+// the engines form disjoint sensitivity clusters and sharded rounds
+// (sim/cluster.go) can evaluate them on parallel workers: engine j is
+// statically sensitive only to its input-port partition (ports i with
+// i % engines == j) and its own csum port, and it stages verified
+// packets into a private queue. A single serial-only merger process
+// drains the staging queues in fixed engine order and performs the
+// table routing into the shared output FIFOs, so output ordering and
+// the shared counters stay deterministic regardless of worker
+// scheduling.
 type Router struct {
 	sim.Module
 	cfg Config
@@ -53,12 +64,33 @@ type Router struct {
 	Out [NumPorts]*sim.Fifo[*Packet]
 
 	engines []Engine
+	fwd     []*fwdEngine
 
-	stats Stats
-	rr    int // round-robin input scan position
+	merged Stats // merger-owned counters (Forwarded, Copies, OutDrops)
 }
 
-// New builds the router with one forwarding process per engine.
+// fwdEngine is the per-engine forwarding state machine: the input
+// partition it services, the packet awaiting its checksum, and the
+// engine-owned counters. Everything it touches during an activation —
+// its input FIFOs, its iss ports, its staging queue — belongs to its
+// own sensitivity cluster, which is what makes the process shardable.
+type fwdEngine struct {
+	r       *Router
+	eng     Engine
+	ins     []int // input port indices this engine services
+	rr      int   // round-robin position within ins
+	staging *sim.Fifo[*Packet]
+
+	pending  *Packet // offloaded packet awaiting its checksum
+	csumSeen uint64  // csum deliveries already consumed
+
+	dequeued   uint64
+	corrupted  uint64
+	stageDrops uint64 // verified packets lost to a full staging queue
+}
+
+// New builds the router with one forwarding process per engine plus the
+// serial-only merger.
 func New(k *sim.Kernel, name string, cfg Config, engines []Engine) *Router {
 	if cfg.FifoDepth <= 0 {
 		cfg.FifoDepth = 8
@@ -75,15 +107,42 @@ func New(k *sim.Kernel, name string, cfg Config, engines []Engine) *Router {
 		r.In[i] = sim.NewFifo[*Packet](k, r.Sub("in")+itoa(i), cfg.FifoDepth)
 		r.Out[i] = sim.NewFifo[*Packet](k, r.Sub("out")+itoa(i), cfg.FifoDepth)
 	}
-	for i := range engines {
-		eng := engines[i]
-		k.Thread(r.Sub("forward")+itoa(i), func(c *sim.Ctx) { r.forward(c, eng) })
+	stagingEvents := make([]*sim.Event, 0, len(engines))
+	for j := range engines {
+		f := &fwdEngine{
+			r:       r,
+			eng:     engines[j],
+			staging: sim.NewFifo[*Packet](k, r.Sub("stage")+itoa(j), cfg.FifoDepth),
+		}
+		sens := []*sim.Event{f.eng.Csum.Event()}
+		for i := 0; i < NumPorts; i++ {
+			if i%len(engines) == j {
+				f.ins = append(f.ins, i)
+				sens = append(sens, r.In[i].DataWritten())
+			}
+		}
+		k.Method(r.Sub("forward")+itoa(j), f.step, sens...)
+		stagingEvents = append(stagingEvents, f.staging.DataWritten())
+		r.fwd = append(r.fwd, f)
 	}
+	// The merger reads every engine's staging queue and writes the
+	// shared outputs, so it must never co-run with the engines inside a
+	// sharded round.
+	k.MethodNoInit(r.Sub("merge"), r.merge, stagingEvents...).MarkSerialOnly()
 	return r
 }
 
-// Stats returns the forwarding counters.
-func (r *Router) Stats() Stats { return r.stats }
+// Stats returns the forwarding counters, summed over the merger and the
+// per-engine state.
+func (r *Router) Stats() Stats {
+	st := r.merged
+	for _, f := range r.fwd {
+		st.Dequeued += f.dequeued
+		st.Corrupted += f.corrupted
+		st.OutDrops += f.stageDrops
+	}
+	return st
+}
 
 // Route returns the output port for a destination address (unicast).
 func (r *Router) Route(dst uint8) int {
@@ -99,66 +158,95 @@ func (r *Router) RouteOK(dst uint8, out int) bool {
 	return dst == BroadcastDst || r.Route(dst) == out
 }
 
-// nextPacket scans the input queues round-robin.
-func (r *Router) nextPacket() *Packet {
-	for i := 0; i < NumPorts; i++ {
-		idx := (r.rr + i) % NumPorts
-		if pkt, ok := r.In[idx].TryRead(); ok {
-			r.rr = (idx + 1) % NumPorts
+// nextPacket scans the engine's input partition round-robin.
+func (f *fwdEngine) nextPacket() *Packet {
+	for i := 0; i < len(f.ins); i++ {
+		slot := (f.rr + i) % len(f.ins)
+		if pkt, ok := f.r.In[f.ins[slot]].TryRead(); ok {
+			f.rr = (slot + 1) % len(f.ins)
 			return pkt
 		}
 	}
 	return nil
 }
 
-// forward is one forwarding process: dequeue, verify the checksum in
-// software on the engine's CPU, forward by table lookup.
-func (r *Router) forward(c *sim.Ctx, eng Engine) {
-	waitEvents := make([]*sim.Event, NumPorts)
-	for i := range waitEvents {
-		waitEvents[i] = r.In[i].DataWritten()
-	}
+// step is one forwarding activation: collect a finished checksum if one
+// is in, then dequeue and offload the next packet. At most one packet
+// is outstanding per engine, exactly like the thread-style predecessor,
+// but the blocking Wait is replaced by the delivery counter so the
+// method runs to completion every activation.
+func (f *fwdEngine) step() {
 	for {
-		pkt := r.nextPacket()
-		if pkt == nil {
-			c.Wait(waitEvents...)
+		if f.pending != nil {
+			if f.eng.Csum.Deliveries() <= f.csumSeen {
+				return // result not in yet; woken by an input we can't service
+			}
+			f.csumSeen = f.eng.Csum.Deliveries()
+			pkt := f.pending
+			f.pending = nil
+			if uint16(f.eng.Csum.Uint32()) != pkt.Checksum {
+				f.corrupted++
+				continue
+			}
+			if !f.staging.TryWrite(pkt) {
+				f.stageDrops++
+			}
 			continue
 		}
-		r.stats.Dequeued++
+		pkt := f.nextPacket()
+		if pkt == nil {
+			return
+		}
+		f.dequeued++
+		f.pending = pkt
 
 		// Offload checksum verification to the CPU.
-		eng.Pkt.Write(pkt.Blob())
-		if eng.Doorbell != nil {
-			eng.Doorbell()
+		f.eng.Pkt.Write(pkt.Blob())
+		if f.eng.Doorbell != nil {
+			f.eng.Doorbell()
 		}
-		c.Wait(eng.Csum.Event())
-		csum := uint16(eng.Csum.Uint32())
+		return
+	}
+}
 
-		if csum != pkt.Checksum {
-			r.stats.Corrupted++
-			continue
-		}
-		if pkt.Dst == BroadcastDst {
-			delivered := false
-			for i := range r.Out {
-				if r.Out[i].TryWrite(pkt) {
-					r.stats.Copies++
-					delivered = true
-				} else {
-					r.stats.OutDrops++
-				}
+// merge drains the staging queues in fixed engine order and routes each
+// verified packet to the output FIFOs. It runs serially by
+// construction (MarkSerialOnly), so the shared outputs and counters see
+// one writer.
+func (r *Router) merge() {
+	for _, f := range r.fwd {
+		for {
+			pkt, ok := f.staging.TryRead()
+			if !ok {
+				break
 			}
-			if delivered {
-				r.stats.Forwarded++
+			r.deliver(pkt)
+		}
+	}
+}
+
+// deliver performs the table routing of one verified packet.
+func (r *Router) deliver(pkt *Packet) {
+	if pkt.Dst == BroadcastDst {
+		delivered := false
+		for i := range r.Out {
+			if r.Out[i].TryWrite(pkt) {
+				r.merged.Copies++
+				delivered = true
+			} else {
+				r.merged.OutDrops++
 			}
-			continue
 		}
-		if r.Out[r.Route(pkt.Dst)].TryWrite(pkt) {
-			r.stats.Forwarded++
-			r.stats.Copies++
-		} else {
-			r.stats.OutDrops++
+		if delivered {
+			r.merged.Forwarded++
 		}
+		return
+	}
+	if r.Out[r.Route(pkt.Dst)].TryWrite(pkt) {
+		r.merged.Forwarded++
+		r.merged.Copies++
+	} else {
+		r.merged.OutDrops++
 	}
 }
 

@@ -48,6 +48,14 @@ type Proc struct {
 // Name returns the process name.
 func (p *Proc) Name() string { return p.name }
 
+// MarkSerialOnly excludes the process from sharded evaluation rounds:
+// any evaluation phase in which it is runnable is executed serially.
+// Mark a method process serial-only when it touches objects belonging
+// to several sensitivity clusters — a merger draining per-engine
+// staging queues, a poller reading another cluster's ports — which the
+// single-toucher round contract (cluster.go) cannot admit.
+func (p *Proc) MarkSerialOnly() { p.serialOnly = true }
+
 // Finished reports whether a thread's body has returned.
 func (p *Proc) Finished() bool { return p.finished }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"time"
 )
 
 // Tracer writes a Value Change Dump (IEEE 1364 VCD) of registered
@@ -106,7 +105,9 @@ func (t *Tracer) writef(format string, args ...any) {
 }
 
 func (t *Tracer) header() {
-	t.writef("$date\n  %s\n$end\n", time.Now().Format(time.RFC1123))
+	// A wall-clock stamp here would make otherwise identical runs
+	// produce different VCD files; replayability wins over provenance.
+	t.writef("$date\n  (deterministic cosim trace)\n$end\n")
 	t.writef("$version\n  cosim sim kernel VCD tracer\n$end\n")
 	t.writef("$timescale\n  1ps\n$end\n")
 	t.writef("$scope module %s $end\n", t.name)
